@@ -1,0 +1,349 @@
+// Command hardness is the experiment runner: it regenerates the
+// quantitative content of the paper's theorems (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for the paper-vs-measured record).
+//
+// Usage:
+//
+//	hardness -experiment all          # run everything
+//	hardness -experiment E1           # one experiment
+//	hardness -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"congesthard/internal/algorithms"
+	"congesthard/internal/comm"
+	"congesthard/internal/constructions/apxmaxislb"
+	"congesthard/internal/constructions/boundedlb"
+	"congesthard/internal/constructions/hamlb"
+	"congesthard/internal/constructions/kmdslb"
+	"congesthard/internal/constructions/maxcutlb"
+	"congesthard/internal/constructions/mdslb"
+	"congesthard/internal/constructions/mvclb"
+	"congesthard/internal/constructions/steinerlb"
+	"congesthard/internal/cover"
+	"congesthard/internal/graph"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/limits"
+	"congesthard/internal/solver"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+	if err := run(*experiment, *list); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type experimentFunc func() error
+
+func experiments() map[string]experimentFunc {
+	return map[string]experimentFunc{
+		"E1":  e1MDS,
+		"E2":  e2HamPath,
+		"E5":  e5Steiner,
+		"E6":  e6MaxCut,
+		"E7":  e7MaxCutApprox,
+		"E8":  e8Bounded,
+		"E10": e10ApproxMaxIS,
+		"E12": e12TwoMDS,
+		"E17": e17Limits,
+	}
+}
+
+func run(which string, list bool) error {
+	exps := experiments()
+	ids := make([]string, 0, len(exps))
+	for id := range exps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	if list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if which != "all" {
+		fn, ok := exps[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", which)
+		}
+		return fn()
+	}
+	for _, id := range ids {
+		fmt.Printf("=== %s ===\n", id)
+		if err := exps[id](); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func scalingTable(name string, build func(k int) (lbfamily.Stats, comm.Function, error), ks []int) error {
+	fmt.Printf("%s scaling: k, n, |E_cut|, K, implied rounds LB\n", name)
+	for _, k := range ks {
+		stats, f, err := build(k)
+		if err != nil {
+			return err
+		}
+		bound, err := lbfamily.ImpliedLowerBound(stats, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  k=%-4d n=%-5d cut=%-5d K=%-7d LB=%.1f\n", k, stats.N, stats.CutSize, stats.K, bound)
+	}
+	return nil
+}
+
+func e1MDS() error {
+	fam, err := mdslb.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Print("Definition 1.1 exhaustive verification (k=2)... ")
+	if err := lbfamily.Verify(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	return scalingTable("MDS (Thm 2.1)", func(k int) (lbfamily.Stats, comm.Function, error) {
+		f, err := mdslb.New(k)
+		if err != nil {
+			return lbfamily.Stats{}, nil, err
+		}
+		stats, err := lbfamily.MeasureStats(f)
+		return stats, f.Func(), err
+	}, []int{2, 4, 8, 16, 32})
+}
+
+func e2HamPath() error {
+	fam, err := hamlb.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Print("Definition 1.1 exhaustive verification (k=2)... ")
+	if err := lbfamily.VerifyDigraph(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	return scalingTable("Hamiltonian path (Thm 2.2)", func(k int) (lbfamily.Stats, comm.Function, error) {
+		f, err := hamlb.New(k)
+		if err != nil {
+			return lbfamily.Stats{}, nil, err
+		}
+		stats, err := lbfamily.MeasureDigraphStats(f)
+		return stats, f.Func(), err
+	}, []int{2, 4, 8, 16})
+}
+
+func e5Steiner() error {
+	fam, err := steinerlb.New(2)
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(1, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	tree, err := fam.WitnessSteinerTree(x, x)
+	if err != nil {
+		return err
+	}
+	_, ok := solver.IsSteinerTree(g, fam.Terminals(), tree)
+	fmt.Printf("Steiner family (Thm 2.7): witness tree of %d edges (target %d), valid: %v\n",
+		len(tree), fam.TargetEdges(), ok)
+	set := fam.DominatingSetFromSteinerTree(tree)
+	inner, err := fam.MDS.Build(x, x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converse extraction: %d vertices dominate the MDS graph: %v\n",
+		len(set), solver.IsDominatingSet(inner, set))
+	return nil
+}
+
+func e6MaxCut() error {
+	fam, err := maxcutlb.New(2)
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(2, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	best, _, err := solver.MaxCut(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max-cut family (Thm 2.8): intersecting optimum %d, target M = %d\n", best, fam.Target())
+	zero := comm.NewBits(4)
+	g0, err := fam.Build(zero, zero)
+	if err != nil {
+		return err
+	}
+	best0, _, err := solver.MaxCut(g0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("disjoint optimum %d < M: %v\n", best0, best0 < fam.Target())
+	return nil
+}
+
+func e7MaxCutApprox() error {
+	rng := rand.New(rand.NewSource(1))
+	fmt.Println("Thm 2.9: sampled (1-eps) max-cut vs exact collection")
+	for _, n := range []int{12, 16, 20} {
+		g := graph.Gnp(n, 0.5, rng)
+		for !g.IsConnected() {
+			g = graph.Gnp(n, 0.5, rng)
+		}
+		opt, _, err := solver.MaxCut(g)
+		if err != nil {
+			return err
+		}
+		res, err := algorithms.MaxCutApprox(g, 0.5, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  n=%-4d opt=%-5d achieved=%-5d ratio=%.3f rounds=%d\n",
+			n, opt, res.AchievedValue, float64(res.AchievedValue)/float64(opt), res.Rounds)
+	}
+	return nil
+}
+
+func e8Bounded() error {
+	base, err := mvclb.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Print("MVC base family exhaustive verification (k=2)... ")
+	if err := lbfamily.Verify(base); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	fam, err := boundedlb.NewFamily(2, 3)
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(0, true)
+	inst, err := fam.BuildInstance(x, x)
+	if err != nil {
+		return err
+	}
+	g := inst.Result.Graph
+	fmt.Printf("derived bounded-degree instance: n'=%d, maxDeg=%d (<=5), cut=%d, alpha-shift=%d\n",
+		g.N(), g.MaxDegree(), inst.Result.CutSize, inst.Result.AlphaShift)
+	return nil
+}
+
+func e10ApproxMaxIS() error {
+	fam, err := apxmaxislb.New(apxmaxislb.Params{K: 2, L: 2, T: 1})
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(0, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	yes, _, err := solver.MaxWeightIndependentSet(g)
+	if err != nil {
+		return err
+	}
+	zero := comm.NewBits(4)
+	g0, err := fam.Build(zero, zero)
+	if err != nil {
+		return err
+	}
+	no, _, err := solver.MaxWeightIndependentSet(g0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("code-gadget MaxIS (Thm 4.3): YES=%d (=%d), NO=%d (<=%d), gap ratio %.4f -> 7/8\n",
+		yes, fam.YesWeight(), no, fam.NoWeight(), float64(fam.NoWeight())/float64(fam.YesWeight()))
+	return nil
+}
+
+func e12TwoMDS() error {
+	c, err := cover.Find(4, 12, 2, 7, 500)
+	if err != nil {
+		return err
+	}
+	fam, err := kmdslb.NewTwoMDS(kmdslb.Params{Collection: c, R: 2})
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(1, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	yes, err := fam.GapWeights(g)
+	if err != nil {
+		return err
+	}
+	zero := comm.NewBits(4)
+	g0, err := fam.Build(zero, zero)
+	if err != nil {
+		return err
+	}
+	no, err := fam.GapWeights(g0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2-MDS gap (Thm 4.4): YES weight=%d, NO weight=%d (> r=2)\n", yes, no)
+	return nil
+}
+
+func e17Limits() error {
+	fam, err := mdslb.New(2)
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(3, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	res, err := limits.TwoApproxMDS(g, fam.AliceSide())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Claim 5.8 on the MDS family: ratio %.3f (<=2) using %d bits\n", res.Ratio, res.Bits)
+	cutFam, err := maxcutlb.New(2)
+	if err != nil {
+		return err
+	}
+	gc, err := cutFam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	cutRes, err := limits.WeightedMaxCut23(gc, cutFam.AliceSide())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Claim 5.5 on the max-cut family: ratio %.3f (>=2/3) using %d bits\n", cutRes.Ratio, cutRes.Bits)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command maxcutapprox reproduces the paper's Section 2.4 contrast on a
+// live simulation: exact weighted max-cut needs Ω̃(n²) rounds (Theorem
+// 2.8), yet the unweighted (1-ε)-approximation of Theorem 2.9 runs in
+// Õ(n) rounds. The program runs both the collect-everything exact
+// algorithm and the sampling algorithm on random graphs of growing size
+// and prints rounds and achieved ratio side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"congesthard/internal/algorithms"
+	"congesthard/internal/graph"
+	"congesthard/internal/solver"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(42))
+	fmt.Println("== Theorem 2.9: (1-eps)-approx max-cut vs exact, simulated ==")
+	fmt.Println()
+	fmt.Println("n     m     p      exactRounds  approxRounds  ratio")
+	for _, n := range []int{12, 16, 20, 24} {
+		g := graph.Gnp(n, 0.5, rng)
+		for !g.IsConnected() {
+			g = graph.Gnp(n, 0.5, rng)
+		}
+		opt, _, err := solver.MaxCut(g)
+		if err != nil {
+			return err
+		}
+		exact, err := algorithms.CollectAndSolve(g, func(gg *graph.Graph) (interface{}, error) {
+			w, _, err := solver.MaxCut(gg)
+			return w, err
+		})
+		if err != nil {
+			return err
+		}
+		// Sample with p ~ n*log(n)/m as in the theorem.
+		p := float64(n) * 2 / float64(g.M())
+		if p > 1 {
+			p = 1
+		}
+		approx, err := algorithms.MaxCutApprox(g, p, rng)
+		if err != nil {
+			return err
+		}
+		ratio := float64(approx.AchievedValue) / float64(opt)
+		fmt.Printf("%-5d %-5d %-6.2f %-12d %-13d %.3f\n",
+			n, g.M(), p, exact.Rounds, approx.Rounds, ratio)
+	}
+	fmt.Println()
+	fmt.Println("Approx rounds track O(mp + D + n) = O~(n); exact rounds track O(m + D).")
+
+	// The weighted lower-bound side: the random ½-approximation for scale.
+	fmt.Println()
+	g := graph.GnpWeighted(20, 0.5, 50, rng)
+	opt, _, err := solver.MaxCut(g)
+	if err != nil {
+		return err
+	}
+	_, w := algorithms.RandomCut(g, rng)
+	fmt.Printf("weighted instance: random cut %d vs optimum %d (%.2f)\n", w, opt, float64(w)/float64(opt))
+	return nil
+}

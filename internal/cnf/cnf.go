@@ -1,0 +1,188 @@
+// Package cnf provides max-2SAT formulas and the Section 3.1 reduction
+// chain that converts a MaxIS instance into a bounded-degree MaxIS
+// instance:
+//
+//	G  --(Claim 3.1)-->  φ    with f(φ) = α(G) + |E|
+//	φ  --(Cor. 3.1)--->  φ'   with f(φ') = f(φ) + m_exp, every variable in
+//	                          O(1) clauses (via expander gadgets)
+//	φ' --(Claim 3.4)-->  G'   with α(G') = f(φ'), max degree <= 5
+//
+// where f(·) is the maximum number of simultaneously satisfiable clauses.
+package cnf
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// Literal is a variable or its negation.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// Clause is a disjunction of one or two literals (the reductions only
+// produce 1- and 2-clauses, but any width is evaluated correctly).
+type Clause []Literal
+
+// Formula is a CNF formula over variables [0, NumVars).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks that all literals reference declared variables.
+func (f *Formula) Validate() error {
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("clause %d is empty", ci)
+		}
+		for _, lit := range c {
+			if lit.Var < 0 || lit.Var >= f.NumVars {
+				return fmt.Errorf("clause %d references variable %d out of range", ci, lit.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// NumSatisfied counts the clauses satisfied by the assignment.
+func (f *Formula) NumSatisfied(assignment []bool) int {
+	count := 0
+	for _, c := range f.Clauses {
+		for _, lit := range c {
+			if assignment[lit.Var] != lit.Neg {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Occurrences returns, per variable, the number of clauses it appears in
+// (counting one per appearance).
+func (f *Formula) Occurrences() []int {
+	occ := make([]int, f.NumVars)
+	for _, c := range f.Clauses {
+		for _, lit := range c {
+			occ[lit.Var]++
+		}
+	}
+	return occ
+}
+
+// LiteralOccurrences returns per-variable counts of positive and negative
+// appearances.
+func (f *Formula) LiteralOccurrences() (pos, neg []int) {
+	pos = make([]int, f.NumVars)
+	neg = make([]int, f.NumVars)
+	for _, c := range f.Clauses {
+		for _, lit := range c {
+			if lit.Neg {
+				neg[lit.Var]++
+			} else {
+				pos[lit.Var]++
+			}
+		}
+	}
+	return pos, neg
+}
+
+// MaxSat computes f(φ) — the maximum number of simultaneously satisfiable
+// clauses — by branch and bound over variables. Practical to ~30 variables.
+func MaxSat(f *Formula) (int, []bool, error) {
+	if err := f.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if f.NumVars > 30 {
+		return 0, nil, fmt.Errorf("exact MaxSAT limited to 30 variables, got %d", f.NumVars)
+	}
+	assignment := make([]bool, f.NumVars)
+	best := -1
+	bestAssignment := make([]bool, f.NumVars)
+	var recurse func(v int)
+	recurse = func(v int) {
+		if v == f.NumVars {
+			if sat := f.NumSatisfied(assignment); sat > best {
+				best = sat
+				copy(bestAssignment, assignment)
+			}
+			return
+		}
+		assignment[v] = false
+		recurse(v + 1)
+		assignment[v] = true
+		recurse(v + 1)
+	}
+	recurse(0)
+	return best, bestAssignment, nil
+}
+
+// GraphToFormula implements the Claim 3.1 reduction: a variable and a unit
+// clause (x_v) per vertex, and a clause (¬x_u ∨ ¬x_v) per edge, so that
+// f(φ) = α(G) + |E|.
+func GraphToFormula(g *graph.Graph) *Formula {
+	f := &Formula{NumVars: g.N()}
+	for v := 0; v < g.N(); v++ {
+		f.Clauses = append(f.Clauses, Clause{{Var: v}})
+	}
+	for _, e := range g.Edges() {
+		f.Clauses = append(f.Clauses, Clause{{Var: e.U, Neg: true}, {Var: e.V, Neg: true}})
+	}
+	return f
+}
+
+// FormulaToGraph implements the Claim 3.4 reduction: a vertex per literal
+// occurrence, an edge inside every 2-clause, and an edge between every
+// positive and negative occurrence of the same variable, so that
+// α(G') = f(φ'). It returns the graph and, per vertex, the (clause index,
+// literal index) it represents.
+func FormulaToGraph(f *Formula) (*graph.Graph, [][2]int, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var owners [][2]int
+	// Vertex ids in clause order.
+	idOf := make(map[[2]int]int)
+	for ci, c := range f.Clauses {
+		for li := range c {
+			idOf[[2]int{ci, li}] = len(owners)
+			owners = append(owners, [2]int{ci, li})
+		}
+	}
+	g := graph.New(len(owners))
+	addIfAbsent := func(u, v int) {
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	// Intra-clause edges.
+	for ci, c := range f.Clauses {
+		if len(c) == 2 {
+			addIfAbsent(idOf[[2]int{ci, 0}], idOf[[2]int{ci, 1}])
+		}
+	}
+	// Positive-negative conflict edges.
+	type occ struct{ ci, li int }
+	posOcc := make([][]occ, f.NumVars)
+	negOcc := make([][]occ, f.NumVars)
+	for ci, c := range f.Clauses {
+		for li, lit := range c {
+			if lit.Neg {
+				negOcc[lit.Var] = append(negOcc[lit.Var], occ{ci, li})
+			} else {
+				posOcc[lit.Var] = append(posOcc[lit.Var], occ{ci, li})
+			}
+		}
+	}
+	for v := 0; v < f.NumVars; v++ {
+		for _, p := range posOcc[v] {
+			for _, q := range negOcc[v] {
+				addIfAbsent(idOf[[2]int{p.ci, p.li}], idOf[[2]int{q.ci, q.li}])
+			}
+		}
+	}
+	return g, owners, nil
+}

@@ -1,0 +1,165 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/graph"
+	"congesthard/internal/solver"
+)
+
+func TestValidate(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{{Var: 0}}, {{Var: 1, Neg: true}}}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Formula{NumVars: 1, Clauses: []Clause{{{Var: 3}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	empty := &Formula{NumVars: 1, Clauses: []Clause{{}}}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty clause accepted")
+	}
+}
+
+func TestNumSatisfied(t *testing.T) {
+	// (x0) ∧ (¬x0 ∨ ¬x1) ∧ (x1)
+	f := &Formula{NumVars: 2, Clauses: []Clause{
+		{{Var: 0}},
+		{{Var: 0, Neg: true}, {Var: 1, Neg: true}},
+		{{Var: 1}},
+	}}
+	cases := []struct {
+		assignment []bool
+		want       int
+	}{
+		{assignment: []bool{false, false}, want: 1},
+		{assignment: []bool{true, false}, want: 2},
+		{assignment: []bool{true, true}, want: 2},
+		{assignment: []bool{false, true}, want: 2},
+	}
+	for _, tc := range cases {
+		if got := f.NumSatisfied(tc.assignment); got != tc.want {
+			t.Errorf("NumSatisfied(%v) = %d, want %d", tc.assignment, got, tc.want)
+		}
+	}
+}
+
+func TestMaxSat(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{
+		{{Var: 0}},
+		{{Var: 0, Neg: true}, {Var: 1, Neg: true}},
+		{{Var: 1}},
+	}}
+	best, assignment, err := MaxSat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 2 {
+		t.Errorf("MaxSat = %d, want 2", best)
+	}
+	if f.NumSatisfied(assignment) != best {
+		t.Error("returned assignment does not achieve the optimum")
+	}
+	if _, _, err := MaxSat(&Formula{NumVars: 40}); err == nil {
+		t.Error("oversized formula accepted")
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1, Neg: true}},
+		{{Var: 0, Neg: true}},
+	}}
+	occ := f.Occurrences()
+	if occ[0] != 2 || occ[1] != 1 || occ[2] != 0 {
+		t.Errorf("occurrences = %v", occ)
+	}
+	pos, neg := f.LiteralOccurrences()
+	if pos[0] != 1 || neg[0] != 1 || neg[1] != 1 || pos[1] != 0 {
+		t.Errorf("literal occurrences pos=%v neg=%v", pos, neg)
+	}
+}
+
+// TestClaim31 verifies f(φ) = α(G) + |E| on random small graphs.
+func TestClaim31(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Gnp(7, 0.4, rng)
+		phi := GraphToFormula(g)
+		fPhi, _, err := MaxSat(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, _, err := solver.MaxIndependentSetSize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fPhi != alpha+g.M() {
+			t.Fatalf("trial %d: f(phi)=%d, alpha+|E|=%d", trial, fPhi, alpha+g.M())
+		}
+	}
+}
+
+// TestClaim34 verifies α(G') = f(φ') on random small 1-2-clause formulas.
+func TestClaim34(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		f := randomFormula(6, 10, rng)
+		want, _, err := MaxSat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gPrime, owners, err := FormulaToGraph(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, _, err := solver.MaxIndependentSetSize(gPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alpha != want {
+			t.Fatalf("trial %d: alpha(G')=%d, f(phi)=%d", trial, alpha, want)
+		}
+		if len(owners) != totalLiterals(f) {
+			t.Fatal("owner map size wrong")
+		}
+	}
+}
+
+func totalLiterals(f *Formula) int {
+	total := 0
+	for _, c := range f.Clauses {
+		total += len(c)
+	}
+	return total
+}
+
+func randomFormula(vars, clauses int, rng *rand.Rand) *Formula {
+	f := &Formula{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		width := 1 + rng.Intn(2)
+		c := Clause{}
+		for j := 0; j < width; j++ {
+			c = append(c, Literal{Var: rng.Intn(vars), Neg: rng.Intn(2) == 1})
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestFormulaToGraphConflictEdges(t *testing.T) {
+	// (x0) and (¬x0): the two vertices must be adjacent.
+	f := &Formula{NumVars: 1, Clauses: []Clause{
+		{{Var: 0}},
+		{{Var: 0, Neg: true}},
+	}}
+	g, _, err := FormulaToGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || !g.HasEdge(0, 1) {
+		t.Error("conflict edge missing")
+	}
+}

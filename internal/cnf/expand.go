@@ -1,0 +1,84 @@
+package cnf
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// GadgetProvider supplies the Claim 3.2 expander gadget for a given number
+// of distinguished vertices: the graph and the ids of the d distinguished
+// vertices (see package expander).
+type GadgetProvider func(d int) (*graph.Graph, []int, error)
+
+// ExpandResult is the output of ExpandFormula.
+type ExpandResult struct {
+	// Formula is φ' — every variable appears in O(1) clauses.
+	Formula *Formula
+	// NumExpanderClauses is m_exp; Corollary 3.1: f(φ') = f(φ) + m_exp.
+	NumExpanderClauses int
+	// VarOrigin maps each φ' variable to the φ variable whose gadget it
+	// belongs to.
+	VarOrigin []int
+}
+
+// ExpandFormula implements the Section 3.1 reduction from φ to φ': every
+// variable v with d_v occurrences is replaced by the vertices of an
+// expander gadget G_{d_v}; the i-th occurrence of v becomes the i-th
+// distinguished vertex's variable, and every gadget edge {p, q} adds the
+// equivalence clauses (¬p ∨ q) and (¬q ∨ p). Variables with no occurrences
+// are dropped.
+func ExpandFormula(f *Formula, gadget GadgetProvider) (*ExpandResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	occ := f.Occurrences()
+	out := &Formula{}
+	res := &ExpandResult{Formula: out}
+	// Per original variable: the list of new variable ids for its
+	// distinguished vertices, consumed in occurrence order.
+	distinguishedVars := make([][]int, f.NumVars)
+	var expanderClauses []Clause
+	for v := 0; v < f.NumVars; v++ {
+		if occ[v] == 0 {
+			continue
+		}
+		g, dist, err := gadget(occ[v])
+		if err != nil {
+			return nil, fmt.Errorf("gadget for variable %d (d=%d): %w", v, occ[v], err)
+		}
+		if len(dist) != occ[v] {
+			return nil, fmt.Errorf("gadget returned %d distinguished vertices, want %d", len(dist), occ[v])
+		}
+		base := out.NumVars
+		out.NumVars += g.N()
+		for i := 0; i < g.N(); i++ {
+			res.VarOrigin = append(res.VarOrigin, v)
+		}
+		distinguishedVars[v] = make([]int, len(dist))
+		for i, dv := range dist {
+			distinguishedVars[v][i] = base + dv
+		}
+		for _, e := range g.Edges() {
+			p, q := base+e.U, base+e.V
+			expanderClauses = append(expanderClauses,
+				Clause{{Var: p, Neg: true}, {Var: q}},
+				Clause{{Var: q, Neg: true}, {Var: p}},
+			)
+		}
+	}
+	// Original clauses with occurrences substituted.
+	nextOcc := make([]int, f.NumVars)
+	for _, c := range f.Clauses {
+		newClause := make(Clause, len(c))
+		for li, lit := range c {
+			idx := nextOcc[lit.Var]
+			nextOcc[lit.Var]++
+			newClause[li] = Literal{Var: distinguishedVars[lit.Var][idx], Neg: lit.Neg}
+		}
+		out.Clauses = append(out.Clauses, newClause)
+	}
+	out.Clauses = append(out.Clauses, expanderClauses...)
+	res.NumExpanderClauses = len(expanderClauses)
+	return res, nil
+}

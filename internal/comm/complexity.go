@@ -1,0 +1,83 @@
+package comm
+
+import "math"
+
+// Complexity records the known asymptotic communication complexities of a
+// function (Sections 1.3 and 5.2 of the paper), expressed as concrete
+// formulas in the input length K so experiments can tabulate implied
+// bounds. The formulas drop constant factors: Θ(K) is recorded as K and
+// O(log K) as ceil(log2 K) + 1.
+type Complexity struct {
+	// Deterministic is CC(f).
+	Deterministic func(k int) float64
+	// Randomized is CC_R(f).
+	Randomized func(k int) float64
+	// Nondeterministic is CC^N(f).
+	Nondeterministic func(k int) float64
+	// CoNondeterministic is CC^N(¬f).
+	CoNondeterministic func(k int) float64
+}
+
+func linear(k int) float64 { return float64(k) }
+
+func logarithmic(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(k))) + 1
+}
+
+// KnownComplexity returns the complexity record for the named function, or
+// ok = false if the function is not in the paper's table. Facts used:
+// CC(DISJ) = CC_R(DISJ) = CC^N(DISJ) = Θ(K) and CC^N(¬DISJ) = O(log K)
+// [Kushilevitz-Nisan, cited as [35]]; CC(EQ) = CC^N(EQ) = Θ(K),
+// CC_R(EQ) = O(log K), CC^N(¬EQ) = O(log K).
+func KnownComplexity(f Function) (Complexity, bool) {
+	switch f.(type) {
+	case Disjointness:
+		return Complexity{
+			Deterministic:      linear,
+			Randomized:         linear,
+			Nondeterministic:   linear,
+			CoNondeterministic: logarithmic,
+		}, true
+	case Equality:
+		return Complexity{
+			Deterministic:      linear,
+			Randomized:         logarithmic,
+			Nondeterministic:   linear,
+			CoNondeterministic: logarithmic,
+		}, true
+	}
+	return Complexity{}, false
+}
+
+// Gamma computes Γ(f) = CC(f) / max{CC^N(f), CC^N(¬f)} at input length k
+// (Section 5.2). For DISJ and EQ this is O(1): the deterministic complexity
+// is already matched by one of the nondeterministic directions.
+func Gamma(c Complexity, k int) float64 {
+	maxNondet := c.Nondeterministic(k)
+	if co := c.CoNondeterministic(k); co > maxNondet {
+		maxNondet = co
+	}
+	if maxNondet == 0 {
+		return 0
+	}
+	return c.Deterministic(k) / maxNondet
+}
+
+// LimitationBound evaluates the cap of Claim 5.10: no family of lower bound
+// graphs w.r.t. f can give (via Theorem 1.1) a round lower bound exceeding
+// Ω(max{CC^N(f), CC^N(¬f)} * Γ(f) / (|E_cut| * log n)). The returned value
+// is that expression with all constants 1.
+func LimitationBound(c Complexity, k, cutSize int, n int) float64 {
+	maxNondet := c.Nondeterministic(k)
+	if co := c.CoNondeterministic(k); co > maxNondet {
+		maxNondet = co
+	}
+	denom := float64(cutSize) * math.Log2(float64(n))
+	if denom == 0 {
+		return 0
+	}
+	return maxNondet * Gamma(c, k) / denom
+}

@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result summarizes one protocol execution.
+type Result struct {
+	// Output is the protocol's answer for f(x, y).
+	Output bool
+	// BitsExchanged is the exact number of bits communicated between the
+	// players (the communication cost of this execution).
+	BitsExchanged int
+}
+
+// Protocol is a two-party protocol computing some Boolean function with
+// measured communication. Implementations must be deterministic given their
+// inputs (randomized protocols take an explicit random source at
+// construction time).
+type Protocol interface {
+	// Run executes the protocol on the input pair.
+	Run(x, y Bits) (Result, error)
+	// Name identifies the protocol in reports.
+	Name() string
+}
+
+// TrivialProtocol computes any function with K + 1 bits: Alice sends her
+// whole input, Bob computes f and replies with the one-bit answer. It is
+// the upper bound CC(f) <= K + 1 that all lower bounds are measured against.
+type TrivialProtocol struct {
+	F Function
+}
+
+var _ Protocol = TrivialProtocol{}
+
+// Run sends x to Bob (K bits) and the answer back (1 bit).
+func (p TrivialProtocol) Run(x, y Bits) (Result, error) {
+	if x.Len() != y.Len() {
+		return Result{}, fmt.Errorf("input length mismatch: %d vs %d", x.Len(), y.Len())
+	}
+	return Result{Output: p.F.Eval(x, y), BitsExchanged: x.Len() + 1}, nil
+}
+
+// Name returns a descriptive protocol name.
+func (p TrivialProtocol) Name() string { return "trivial-" + p.F.Name() }
+
+// RandomizedEquality decides EQ_K with error probability at most 2^-Rounds
+// using shared randomness: in each round the players compare the parity of
+// a common random subset of positions. Cost is Rounds + 1 bits, matching
+// CC_R(EQ) = O(log K) for Rounds = Θ(log K) (Section 5.2).
+type RandomizedEquality struct {
+	// Rounds is the number of random parity checks (error <= 2^-Rounds on
+	// unequal inputs; equal inputs are always accepted).
+	Rounds int
+	// Rng is the shared random source. Both players see the same bits.
+	Rng *rand.Rand
+}
+
+var _ Protocol = (*RandomizedEquality)(nil)
+
+// Run performs the parity-fingerprint comparison.
+func (p *RandomizedEquality) Run(x, y Bits) (Result, error) {
+	if x.Len() != y.Len() {
+		return Result{}, fmt.Errorf("input length mismatch: %d vs %d", x.Len(), y.Len())
+	}
+	if p.Rounds <= 0 {
+		return Result{}, fmt.Errorf("rounds must be positive, got %d", p.Rounds)
+	}
+	bitsExchanged := 0
+	equal := true
+	for r := 0; r < p.Rounds; r++ {
+		mask := RandomBits(x.Len(), p.Rng)
+		aliceParity := maskedParity(x, mask)
+		bobParity := maskedParity(y, mask)
+		bitsExchanged++ // Alice announces her parity bit.
+		if aliceParity != bobParity {
+			equal = false
+			break
+		}
+	}
+	bitsExchanged++ // Bob announces the verdict.
+	return Result{Output: equal, BitsExchanged: bitsExchanged}, nil
+}
+
+func maskedParity(b, mask Bits) int {
+	parity := 0
+	for i := range b.w {
+		parity ^= popcountParity(b.w[i] & mask.w[i])
+	}
+	return parity
+}
+
+// Name returns "randomized-EQ".
+func (p *RandomizedEquality) Name() string { return "randomized-EQ" }
+
+// BlockDisjointness decides DISJ_K exactly by streaming Alice's input in
+// blocks and early-exiting when an intersection is found. Worst case is
+// still Θ(K) bits — as it must be, since CC(DISJ_K) = Ω(K) — but it
+// demonstrates instance-dependent cost accounting.
+type BlockDisjointness struct {
+	// BlockSize is the number of indices sent per message (default 8).
+	BlockSize int
+}
+
+var _ Protocol = BlockDisjointness{}
+
+// Run streams x block by block; Bob replies with one bit per block saying
+// whether he saw an intersection yet.
+func (p BlockDisjointness) Run(x, y Bits) (Result, error) {
+	if x.Len() != y.Len() {
+		return Result{}, fmt.Errorf("input length mismatch: %d vs %d", x.Len(), y.Len())
+	}
+	blockSize := p.BlockSize
+	if blockSize <= 0 {
+		blockSize = 8
+	}
+	bitsExchanged := 0
+	for start := 0; start < x.Len(); start += blockSize {
+		end := start + blockSize
+		if end > x.Len() {
+			end = x.Len()
+		}
+		bitsExchanged += end - start // Alice's block
+		bitsExchanged++              // Bob's verdict-so-far bit
+		for i := start; i < end; i++ {
+			if x.Get(i) && y.Get(i) {
+				return Result{Output: false, BitsExchanged: bitsExchanged}, nil
+			}
+		}
+	}
+	return Result{Output: true, BitsExchanged: bitsExchanged}, nil
+}
+
+// Name returns "block-DISJ".
+func (p BlockDisjointness) Name() string { return "block-DISJ" }

@@ -1,0 +1,220 @@
+// Package congest simulates the CONGEST model of distributed computing:
+// n nodes communicate over the edges of an underlying graph in synchronous
+// rounds, sending at most one B-bit message per edge per direction per
+// round, with B = O(log n) (the paper's Section 1 setting).
+//
+// The simulator is deterministic and single-goroutine: node programs are
+// state machines driven round by round. It meters rounds, messages and —
+// when a vertex bipartition is supplied — the messages and bits crossing
+// the cut, which is exactly the quantity that the Alice-Bob framework of
+// Theorem 1.1 charges for.
+package congest
+
+import (
+	"fmt"
+	"sort"
+
+	"congesthard/internal/graph"
+)
+
+// Message is an outgoing message: a payload addressed to a neighbor.
+type Message struct {
+	To      int
+	Payload int64
+}
+
+// Incoming is a received message tagged with its sender.
+type Incoming struct {
+	From    int
+	Payload int64
+}
+
+// Local is the information a node knows at wakeup: its id, the network
+// size, its incident edges (neighbor ids and edge weights, index-aligned),
+// its own vertex weight, and optional problem-specific input.
+type Local struct {
+	ID           int
+	N            int
+	Neighbors    []int
+	EdgeWeights  []int64
+	VertexWeight int64
+	Data         interface{}
+}
+
+// Node is one vertex's program. Round is called once per synchronous round
+// with the messages received at the start of the round (round 0 has an
+// empty inbox); it returns the messages to send and whether the node has
+// terminated. A terminated node's Round is no longer called and it sends
+// nothing further.
+type Node interface {
+	Round(round int, inbox []Incoming) (outbox []Message, done bool)
+	// Output returns the node's final (or current) output value.
+	Output() interface{}
+}
+
+// Factory constructs the program for one vertex.
+type Factory func(local Local) Node
+
+// Options configures a simulation. The zero value selects defaults.
+type Options struct {
+	// BandwidthBits is the per-message bit budget B. 0 selects
+	// 2*ceil(log2(n+1)), the standard O(log n) CONGEST bandwidth.
+	BandwidthBits int
+	// MaxRounds aborts runaway programs. 0 selects 4*n^2 + 64.
+	MaxRounds int
+	// CutSide, if non-nil, marks Alice's side of a bipartition; messages
+	// crossing the cut are metered (Theorem 1.1 accounting).
+	CutSide []bool
+}
+
+// Metrics are the measured costs of a simulation.
+type Metrics struct {
+	Rounds        int
+	Messages      int64
+	CutMessages   int64
+	CutBits       int64
+	BandwidthBits int
+}
+
+// Result is the outcome of a simulation: metrics plus per-vertex outputs.
+type Result struct {
+	Metrics
+	Outputs []interface{}
+}
+
+// DefaultBandwidth returns the default per-message bit budget for an
+// n-vertex network: 2*ceil(log2(n+1)), i.e. Θ(log n).
+func DefaultBandwidth(n int) int {
+	b := 1
+	for (1 << uint(b)) < n+1 {
+		b++
+	}
+	return 2 * b
+}
+
+// Run simulates the factory's programs on g until every node terminates.
+func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	bandwidth := opts.BandwidthBits
+	if bandwidth == 0 {
+		bandwidth = DefaultBandwidth(n)
+	}
+	if bandwidth < 1 || bandwidth > 62 {
+		return nil, fmt.Errorf("bandwidth %d out of supported range [1,62]", bandwidth)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n*n + 64
+	}
+	if opts.CutSide != nil && len(opts.CutSide) != n {
+		return nil, fmt.Errorf("cut side length %d != n %d", len(opts.CutSide), n)
+	}
+
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		local := Local{
+			ID:           v,
+			N:            n,
+			Neighbors:    make([]int, len(nbrs)),
+			EdgeWeights:  make([]int64, len(nbrs)),
+			VertexWeight: g.VertexWeight(v),
+		}
+		for i, h := range nbrs {
+			local.Neighbors[i] = h.To
+			local.EdgeWeights[i] = h.Weight
+		}
+		nodes[v] = factory(local)
+	}
+
+	maxPayload := int64(1)<<uint(bandwidth) - 1
+	done := make([]bool, n)
+	inboxes := make([][]Incoming, n)
+	metrics := Metrics{BandwidthBits: bandwidth}
+
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("simulation exceeded %d rounds", maxRounds)
+		}
+		allDone := true
+		nextInboxes := make([][]Incoming, n)
+		anyMessage := false
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			outbox, finished := nodes[v].Round(round, inboxes[v])
+			if finished {
+				done[v] = true
+			} else {
+				allDone = false
+			}
+			sentTo := make(map[int]bool, len(outbox))
+			for _, msg := range outbox {
+				if !g.HasEdge(v, msg.To) {
+					return nil, fmt.Errorf("round %d: node %d sent to non-neighbor %d", round, v, msg.To)
+				}
+				if sentTo[msg.To] {
+					return nil, fmt.Errorf("round %d: node %d sent two messages to %d", round, v, msg.To)
+				}
+				sentTo[msg.To] = true
+				if msg.Payload < 0 || msg.Payload > maxPayload {
+					return nil, fmt.Errorf("round %d: node %d payload %d exceeds %d-bit bandwidth", round, v, msg.Payload, bandwidth)
+				}
+				nextInboxes[msg.To] = append(nextInboxes[msg.To], Incoming{From: v, Payload: msg.Payload})
+				metrics.Messages++
+				anyMessage = true
+				if opts.CutSide != nil && opts.CutSide[v] != opts.CutSide[msg.To] {
+					metrics.CutMessages++
+					metrics.CutBits += int64(bandwidth)
+				}
+			}
+		}
+		metrics.Rounds = round + 1
+		if allDone && !anyMessage {
+			break
+		}
+		if allDone && anyMessage {
+			// Deliverable messages to already-terminated nodes are dropped;
+			// the round still counts.
+			break
+		}
+		for v := range nextInboxes {
+			sort.Slice(nextInboxes[v], func(i, j int) bool {
+				return nextInboxes[v][i].From < nextInboxes[v][j].From
+			})
+		}
+		inboxes = nextInboxes
+	}
+
+	outputs := make([]interface{}, n)
+	for v := range nodes {
+		outputs[v] = nodes[v].Output()
+	}
+	return &Result{Metrics: metrics, Outputs: outputs}, nil
+}
+
+// FuncNode adapts a pair of closures to the Node interface, for small
+// programs and tests.
+type FuncNode struct {
+	RoundFunc  func(round int, inbox []Incoming) ([]Message, bool)
+	OutputFunc func() interface{}
+}
+
+var _ Node = (*FuncNode)(nil)
+
+// Round delegates to RoundFunc.
+func (f *FuncNode) Round(round int, inbox []Incoming) ([]Message, bool) {
+	return f.RoundFunc(round, inbox)
+}
+
+// Output delegates to OutputFunc (nil yields nil).
+func (f *FuncNode) Output() interface{} {
+	if f.OutputFunc == nil {
+		return nil
+	}
+	return f.OutputFunc()
+}

@@ -1,0 +1,255 @@
+package congest
+
+import (
+	"testing"
+
+	"congesthard/internal/graph"
+)
+
+// floodMinNode floods the minimum id seen so far for exactly budget rounds,
+// then outputs it. It is the classic O(D)-round leader election used in the
+// paper's upper-bound discussions.
+type floodMinNode struct {
+	local  Local
+	best   int64
+	budget int
+}
+
+func newFloodMin(budget int) Factory {
+	return func(local Local) Node {
+		return &floodMinNode{local: local, best: int64(local.ID), budget: budget}
+	}
+}
+
+func (f *floodMinNode) Round(round int, inbox []Incoming) ([]Message, bool) {
+	for _, msg := range inbox {
+		if msg.Payload < f.best {
+			f.best = msg.Payload
+		}
+	}
+	if round >= f.budget {
+		return nil, true
+	}
+	out := make([]Message, 0, len(f.local.Neighbors))
+	for _, nbr := range f.local.Neighbors {
+		out = append(out, Message{To: nbr, Payload: f.best})
+	}
+	return out, false
+}
+
+func (f *floodMinNode) Output() interface{} { return f.best }
+
+func TestFloodMinOnPath(t *testing.T) {
+	g := graph.Path(8)
+	res, err := Run(g, newFloodMin(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if out.(int64) != 0 {
+			t.Errorf("vertex %d learned min %v, want 0", v, out)
+		}
+	}
+	if res.Rounds < 7 {
+		t.Errorf("rounds = %d, want >= diameter 7", res.Rounds)
+	}
+}
+
+func TestFloodMinInsufficientBudgetOnPath(t *testing.T) {
+	// With fewer rounds than the diameter, the far endpoint cannot learn 0.
+	g := graph.Path(8)
+	res, err := Run(g, newFloodMin(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[7].(int64) == 0 {
+		t.Error("information travelled faster than one hop per round")
+	}
+}
+
+func TestCutMetering(t *testing.T) {
+	g := graph.Path(4)
+	side := []bool{true, true, false, false} // single cut edge {1,2}
+	res, err := Run(g, newFloodMin(5), Options{CutSide: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 5 sending rounds crosses the cut twice (both directions).
+	if res.CutMessages != 10 {
+		t.Errorf("cut messages = %d, want 10", res.CutMessages)
+	}
+	if res.CutBits != res.CutMessages*int64(res.BandwidthBits) {
+		t.Error("cut bits inconsistent with cut messages")
+	}
+	if res.Messages <= res.CutMessages {
+		t.Error("total messages should exceed cut messages on a path")
+	}
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := graph.Path(2)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 0 && round == 0 {
+					return []Message{{To: 1, Payload: 1 << 40}}, true
+				}
+				return nil, true
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{BandwidthBits: 8}); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestNegativePayloadRejected(t *testing.T) {
+	g := graph.Path(2)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 0 && round == 0 {
+					return []Message{{To: 1, Payload: -1}}, true
+				}
+				return nil, true
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{}); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestNonNeighborRejected(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 not adjacent
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 0 && round == 0 {
+					return []Message{{To: 2, Payload: 1}}, true
+				}
+				return nil, true
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{}); err == nil {
+		t.Error("message to non-neighbor accepted")
+	}
+}
+
+func TestDuplicateMessageSameEdgeRejected(t *testing.T) {
+	g := graph.Path(2)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 0 && round == 0 {
+					return []Message{{To: 1, Payload: 1}, {To: 1, Payload: 2}}, true
+				}
+				return nil, true
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{}); err == nil {
+		t.Error("two messages on one edge in one round accepted")
+	}
+}
+
+func TestMaxRoundsGuard(t *testing.T) {
+	g := graph.Path(2)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				return nil, false // never terminates
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{MaxRounds: 10}); err == nil {
+		t.Error("non-terminating program not aborted")
+	}
+}
+
+func TestLocalInfo(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddWeightedEdge(0, 1, 5)
+	g.MustAddWeightedEdge(1, 2, 7)
+	if err := g.SetVertexWeight(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	var got Local
+	factory := func(local Local) Node {
+		if local.ID == 1 {
+			got = local
+		}
+		return &FuncNode{RoundFunc: func(int, []Incoming) ([]Message, bool) { return nil, true }}
+	}
+	if _, err := Run(g, factory, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 || got.VertexWeight != 9 {
+		t.Errorf("local info wrong: %+v", got)
+	}
+	if len(got.Neighbors) != 2 || len(got.EdgeWeights) != 2 {
+		t.Fatalf("neighbor info wrong: %+v", got)
+	}
+	for i, nbr := range got.Neighbors {
+		w := got.EdgeWeights[i]
+		if (nbr == 0 && w != 5) || (nbr == 2 && w != 7) {
+			t.Errorf("edge weight misaligned: nbr %d weight %d", nbr, w)
+		}
+	}
+}
+
+func TestInboxSortedByFrom(t *testing.T) {
+	g := graph.Star(4) // center 0
+	var inboxFroms []int
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 0 && round == 1 {
+					for _, m := range inbox {
+						inboxFroms = append(inboxFroms, m.From)
+					}
+					return nil, true
+				}
+				if local.ID != 0 && round == 0 {
+					return []Message{{To: 0, Payload: int64(local.ID)}}, false
+				}
+				return nil, round >= 1
+			},
+		}
+	}
+	if _, err := Run(g, factory, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(inboxFroms) != 3 {
+		t.Fatalf("center received %d messages, want 3", len(inboxFroms))
+	}
+	for i := range want {
+		if inboxFroms[i] != want[i] {
+			t.Errorf("inbox order %v, want %v", inboxFroms, want)
+		}
+	}
+}
+
+func TestDefaultBandwidthGrowsLogarithmically(t *testing.T) {
+	if b := DefaultBandwidth(1); b < 2 {
+		t.Errorf("DefaultBandwidth(1) = %d", b)
+	}
+	if b := DefaultBandwidth(1000); b != 20 {
+		t.Errorf("DefaultBandwidth(1000) = %d, want 20", b)
+	}
+	if DefaultBandwidth(1<<20) >= 62 {
+		t.Error("bandwidth too large for payload encoding")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Run(graph.New(0), newFloodMin(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("empty graph ran %d rounds", res.Rounds)
+	}
+}

@@ -1,0 +1,286 @@
+package apxmaxislb
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/solver"
+)
+
+func smallParams() Params { return Params{K: 2, L: 2, T: 1} }
+
+func TestNewValidation(t *testing.T) {
+	cases := []Params{
+		{K: 3, L: 2, T: 1}, // k not power of two
+		{K: 2, L: 0, T: 1}, // l < t
+		{K: 2, L: 2, T: 0}, // t < 1
+		{K: 2, L: 1, T: 2}, // l < t
+	}
+	for _, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := New(smallParams()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructure(t *testing.T) {
+	f, err := New(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Q() != 5 {
+		t.Errorf("q = %d, want 5 (next prime after l+t+1=4)", f.Q())
+	}
+	if f.N() != 4*2+4*5*3 {
+		t.Errorf("N = %d, want 68", f.N())
+	}
+	if f.YesWeight() != 20 || f.NoWeight() != 18 {
+		t.Errorf("gap weights %d/%d, want 20/18", f.YesWeight(), f.NoWeight())
+	}
+	g, err := f.BuildFixed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row weights l, gadget weights 1.
+	if g.VertexWeight(f.Row(SetA1, 0)) != 2 {
+		t.Error("row weight wrong")
+	}
+	if g.VertexWeight(f.GadgetVertex(SetA1, 0, 0)) != 1 {
+		t.Error("gadget weight wrong")
+	}
+	// Row vertex not adjacent to its own codeword vertices.
+	cw, err := f.Codeword(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if g.HasEdge(f.Row(SetA1, 0), f.GadgetVertex(SetA1, int(cw[j]), j)) {
+			t.Error("row adjacent to its codeword vertex")
+		}
+	}
+	// Cross matching absent on equal field elements.
+	if g.HasEdge(f.GadgetVertex(SetA1, 1, 0), f.GadgetVertex(SetB1, 1, 0)) {
+		t.Error("matching edge present")
+	}
+	if !g.HasEdge(f.GadgetVertex(SetA1, 1, 0), f.GadgetVertex(SetB1, 2, 0)) {
+		t.Error("cross edge missing")
+	}
+}
+
+// TestLemma41Exhaustive machine-checks Lemma 4.1 at the smallest
+// parameters over all 256 input pairs: weighted MaxIS reaches 8l+4t iff
+// the inputs intersect.
+func TestLemma41Exhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive weighted MaxIS verification is slow")
+	}
+	f, _ := New(smallParams())
+	if err := lbfamily.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGapIsExact checks both sides of the gap: exactly 8l+4t on
+// intersecting inputs, and at most 7l+4t on disjoint inputs (Lemma 4.1's
+// NO bound; it is an upper bound over all disjoint pairs).
+func TestGapIsExact(t *testing.T) {
+	f, _ := New(smallParams())
+	x := comm.NewBits(4)
+	x.Set(0, true)
+	g, err := f.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := solver.MaxWeightIndependentSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != f.YesWeight() {
+		t.Errorf("intersecting max = %d, want %d", w, f.YesWeight())
+	}
+	// Disjoint pairs: all-zeros, and a pair with mismatched single ones
+	// (four independent rows, codeword conflict in the gadget).
+	xa := comm.NewBits(4)
+	xa.Set(comm.PairIndex(0, 0, 2), true)
+	yb := comm.NewBits(4)
+	yb.Set(comm.PairIndex(1, 1, 2), true)
+	for _, pair := range [][2]comm.Bits{{comm.NewBits(4), comm.NewBits(4)}, {xa, yb}} {
+		g0, err := f.Build(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		w0, _, err := solver.MaxWeightIndependentSet(g0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w0 > f.NoWeight() {
+			t.Errorf("disjoint max = %d, want <= %d", w0, f.NoWeight())
+		}
+	}
+}
+
+func TestWitness(t *testing.T) {
+	f, _ := New(smallParams())
+	rng := rand.New(rand.NewSource(1))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 10; trial++ {
+		x := comm.RandomBits(4, rng)
+		y := comm.RandomBits(4, rng)
+		if !x.Intersects(y) {
+			continue
+		}
+		checked++
+		g, err := f.Build(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := f.WitnessIndependentSet(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !solver.IsIndependentSet(g, set) {
+			t.Fatalf("witness not independent (x=%s y=%s)", x, y)
+		}
+		var weight int64
+		for _, v := range set {
+			weight += g.VertexWeight(v)
+		}
+		if weight != f.YesWeight() {
+			t.Fatalf("witness weight %d, want %d", weight, f.YesWeight())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no intersecting samples")
+	}
+}
+
+// TestBatchExpansionPreservesGap verifies the Theorem 4.1 batch trick on a
+// pair of instances: cardinality alpha of the expanded graph equals the
+// weighted alpha of the original.
+func TestBatchExpansionPreservesGap(t *testing.T) {
+	f, _ := New(smallParams())
+	u := &UnweightedFamily{W: f}
+	for _, intersecting := range []bool{true, false} {
+		x := comm.NewBits(4)
+		if intersecting {
+			x.Set(1, true)
+		}
+		gw, err := f.Build(x, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wWeighted, _, err := solver.MaxWeightIndependentSet(gw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gu, err := u.Build(x, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, _, err := solver.MaxIndependentSetSize(gu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(alpha) != wWeighted {
+			t.Errorf("intersecting=%v: batch alpha %d != weighted %d", intersecting, alpha, wWeighted)
+		}
+	}
+}
+
+func TestUnweightedSideConsistent(t *testing.T) {
+	u, err := NewUnweighted(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := u.AliceSide()
+	zero := comm.NewBits(4)
+	g, err := u.Build(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(side) != g.N() {
+		t.Fatalf("side length %d != n %d", len(side), g.N())
+	}
+}
+
+// TestTheorem42LinearExhaustive machine-checks the linear variant over all
+// 16 input pairs (K = k = 2).
+func TestTheorem42LinearExhaustive(t *testing.T) {
+	lf, err := NewLinear(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lbfamily.Verify(lf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinearGapExact checks the 6l+2t vs 5l+2t gap values.
+func TestLinearGapExact(t *testing.T) {
+	lf, _ := NewLinear(smallParams())
+	x := comm.NewBits(2)
+	x.Set(0, true)
+	g, err := lf.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _, err := solver.MaxIndependentSetSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != lf.YesSize() {
+		t.Errorf("intersecting alpha = %d, want %d", alpha, lf.YesSize())
+	}
+	zero := comm.NewBits(2)
+	g0, err := lf.Build(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha0, _, err := solver.MaxIndependentSetSize(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha0 > lf.NoSize() {
+		t.Errorf("disjoint alpha = %d, want <= %d", alpha0, lf.NoSize())
+	}
+	// A disjoint pair where x and y each have a one: both sides keep their
+	// v-batches plus one row batch; the NO bound 5l+2t is met exactly.
+	xa := comm.NewBits(2)
+	xa.Set(0, true)
+	yb := comm.NewBits(2)
+	yb.Set(1, true)
+	g1, err := lf.Build(xa, yb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha1, _, err := solver.MaxIndependentSetSize(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha1 > lf.NoSize() {
+		t.Errorf("disjoint(1,1) alpha = %d, want <= %d", alpha1, lf.NoSize())
+	}
+}
+
+func TestApproxRatioApproaches78(t *testing.T) {
+	// As l/t grows the gap ratio tends to 7/8 (and 5/6 for the linear
+	// variant).
+	f1, err := New(Params{K: 2, L: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(Params{K: 2, L: 16, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := float64(f1.NoWeight()) / float64(f1.YesWeight())
+	r2 := float64(f2.NoWeight()) / float64(f2.YesWeight())
+	if !(r2 < r1) || r2 < 0.875 {
+		t.Errorf("ratios r1=%.4f r2=%.4f should approach 7/8 from above", r1, r2)
+	}
+}

@@ -1,0 +1,203 @@
+package boundedlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/cnf"
+	"congesthard/internal/comm"
+	"congesthard/internal/expander"
+	"congesthard/internal/graph"
+	"congesthard/internal/solver"
+)
+
+// TestCorollary31 verifies f(φ') = f(φ) + m_exp on small random formulas
+// with the real gadget provider.
+func TestCorollary31(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gadget := func(d int) (*graph.Graph, []int, error) { return expander.Gadget(d, 5) }
+	for trial := 0; trial < 15; trial++ {
+		f := &cnf.Formula{NumVars: 4}
+		for c := 0; c < 6; c++ {
+			width := 1 + rng.Intn(2)
+			var clause cnf.Clause
+			for j := 0; j < width; j++ {
+				clause = append(clause, cnf.Literal{Var: rng.Intn(4), Neg: rng.Intn(2) == 1})
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		fPhi, _, err := cnf.MaxSat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expanded, err := cnf.ExpandFormula(f, gadget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expanded.Formula.NumVars > 30 {
+			continue // exact check infeasible; covered by smaller draws
+		}
+		fPrime, _, err := cnf.MaxSat(expanded.Formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fPrime != fPhi+expanded.NumExpanderClauses {
+			t.Fatalf("trial %d: f(phi')=%d, want f(phi)+mexp=%d+%d", trial, fPrime, fPhi, expanded.NumExpanderClauses)
+		}
+	}
+}
+
+// TestFullChainAlpha verifies α(G') = α(G) + m_G + m_exp on small graphs.
+func TestFullChainAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Pipeline{Seed: 11}
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(5, 0.5, rng)
+		res, err := p.Apply(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, _, err := solver.MaxIndependentSetSize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphaPrime, _, err := solver.MaxIndependentSetSize(res.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alphaPrime != alpha+res.AlphaShift {
+			t.Fatalf("trial %d: alpha(G')=%d, want alpha+shift=%d+%d", trial, alphaPrime, alpha, res.AlphaShift)
+		}
+	}
+}
+
+// TestTheorem31Invariants checks the headline structural facts of
+// Theorem 3.1 on the derived family at k=2: maximum degree <= 5,
+// logarithmic diameter, fixed logarithmic cut, and quadratic size.
+func TestTheorem31Invariants(t *testing.T) {
+	fam, err := NewFamily(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var cutSizes []int
+	for trial := 0; trial < 5; trial++ {
+		x := comm.RandomBits(4, rng)
+		y := comm.RandomBits(4, rng)
+		inst, err := fam.BuildInstance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp := inst.Result.Graph
+		if deg := gp.MaxDegree(); deg > 5 {
+			t.Errorf("max degree %d > 5", deg)
+		}
+		if !gp.IsConnected() {
+			// The derived graph can have isolated conflict components only
+			// if the base did; the base family is connected.
+			t.Log("derived graph disconnected; diameter check skipped")
+		} else if diam := gp.Diameter(); diam > 60 {
+			t.Errorf("diameter %d unexpectedly large for n=%d", diam, gp.N())
+		}
+		cutSizes = append(cutSizes, inst.Result.CutSize)
+		// Size blow-up is at most quadratic-ish in the base size.
+		if gp.N() < fam.Base.N() {
+			t.Error("derived graph smaller than base")
+		}
+	}
+	// The cut must stay logarithmic in the base row size — here it equals
+	// the base cut count because each cut edge becomes one clause edge.
+	for _, c := range cutSizes {
+		if c != 4*fam.Base.LogK() {
+			t.Errorf("derived cut %d, want %d", c, 4*fam.Base.LogK())
+		}
+	}
+}
+
+// TestPredictedAlphaChain validates the α bookkeeping of BuildInstance on
+// the base family: when the inputs intersect, the base graph's α is Z, so
+// α(G') must be AlphaTargetPrime; the chain claims are each verified
+// separately, so here we check the base side of the ledger.
+func TestPredictedAlphaChain(t *testing.T) {
+	fam, _ := NewFamily(2, 3)
+	x := comm.NewBits(4)
+	x.Set(2, true)
+	inst, err := fam.BuildInstance(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fam.Base.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _, err := solver.MaxIndependentSetSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != fam.Base.AlphaTarget() {
+		t.Fatalf("base alpha = %d, want %d", alpha, fam.Base.AlphaTarget())
+	}
+	if inst.AlphaTargetPrime != alpha+inst.Result.AlphaShift {
+		t.Error("AlphaTargetPrime ledger inconsistent")
+	}
+}
+
+// TestMDSReduction verifies γ(reduced) = τ(G) on random graphs without
+// isolated vertices, and the structural facts (new vertices degree 2).
+func TestMDSReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trials := 0
+	for trials < 15 {
+		g := graph.Gnp(8, 0.35, rng)
+		hasIsolated := false
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				hasIsolated = true
+			}
+		}
+		if hasIsolated || g.M() == 0 {
+			continue
+		}
+		trials++
+		reduced := MDSReduction(g)
+		tau, _, err := solver.MinVertexCoverSize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma, _, err := solver.MinDominatingSet(reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(gamma) != tau {
+			t.Fatalf("gamma(reduced)=%d, tau(G)=%d", gamma, tau)
+		}
+		for i := 0; i < g.M(); i++ {
+			if reduced.Degree(g.N()+i) != 2 {
+				t.Fatal("edge vertex degree != 2")
+			}
+		}
+		if reduced.MaxDegree() > 2*g.MaxDegree() {
+			t.Fatal("degree more than doubled")
+		}
+	}
+}
+
+// TestSpannerReduction checks bounded degree and validates the minimum
+// 2-spanner weight against the exact solver on tiny instances.
+func TestSpannerReduction(t *testing.T) {
+	g := graph.Path(4)
+	reduced := SpannerReduction(g)
+	if reduced.MaxDegree() > 2*g.MaxDegree() {
+		t.Error("spanner reduction degree blow-up")
+	}
+	w, err := solver.MinTwoSpannerWeight(reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each original edge is cheapest spanned by its 2-hop detour (cost 2)
+	// which also 2-spans the heavy edge; detour halves must be included to
+	// span themselves... the exact optimum on P4's reduction is 6.
+	if w != 6 {
+		t.Errorf("min 2-spanner weight = %d, want 6", w)
+	}
+}

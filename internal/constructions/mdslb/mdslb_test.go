@@ -1,0 +1,198 @@
+package mdslb
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/solver"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 6, -4} {
+		if _, err := New(k); err == nil {
+			t.Errorf("k=%d accepted", k)
+		}
+	}
+	for _, k := range []int{2, 4, 8} {
+		if _, err := New(k); err != nil {
+			t.Errorf("k=%d rejected: %v", k, err)
+		}
+	}
+}
+
+func TestStructure(t *testing.T) {
+	f, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 4*4+12*2 {
+		t.Errorf("N = %d, want 40", f.N())
+	}
+	if f.TargetSize() != 10 {
+		t.Errorf("target = %d, want 10", f.TargetSize())
+	}
+	g := f.BuildFixed()
+	// Row vertex degree: log k bin edges (no input edges yet).
+	for i := 0; i < 4; i++ {
+		if d := g.Degree(f.Row(SetA1, i)); d != 2 {
+			t.Errorf("row degree = %d, want logk=2", d)
+		}
+	}
+	// u vertices have degree exactly 2 (cycle only).
+	if d := g.Degree(f.UVertex(SetA1, 0)); d != 2 {
+		t.Errorf("u degree = %d, want 2", d)
+	}
+	// Every 6-cycle is present: spot check one.
+	if !g.HasEdge(f.UVertex(SetA1, 1), f.FVertex(SetB1, 1)) {
+		t.Error("6-cycle edge u_A1 - f_B1 missing")
+	}
+}
+
+func TestCutIsLogarithmic(t *testing.T) {
+	f, _ := New(8)
+	stats, err := lbfamily.MeasureStats(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut edges: each of the 2*logk 6-cycles crosses the partition exactly
+	// twice (u_A - f_B and u_B - f_A).
+	want := 4 * f.LogK()
+	if stats.CutSize != want {
+		t.Errorf("cut size = %d, want %d", stats.CutSize, want)
+	}
+	if stats.K != 64 {
+		t.Errorf("K = %d, want 64", stats.K)
+	}
+}
+
+func TestInputEdgesPlacement(t *testing.T) {
+	f, _ := New(2)
+	x := comm.NewBits(4)
+	y := comm.NewBits(4)
+	x.Set(comm.PairIndex(0, 1, 2), true)
+	y.Set(comm.PairIndex(1, 0, 2), true)
+	g, err := f.Build(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(f.Row(SetA1, 0), f.Row(SetA2, 1)) {
+		t.Error("x edge missing")
+	}
+	if !g.HasEdge(f.Row(SetB1, 1), f.Row(SetB2, 0)) {
+		t.Error("y edge missing")
+	}
+	if g.HasEdge(f.Row(SetA1, 1), f.Row(SetA2, 0)) {
+		t.Error("phantom x edge")
+	}
+}
+
+func TestBuildRejectsWrongLength(t *testing.T) {
+	f, _ := New(2)
+	if _, err := f.Build(comm.NewBits(3), comm.NewBits(4)); err == nil {
+		t.Error("wrong x length accepted")
+	}
+}
+
+// TestLemma21Exhaustive is the machine proof of Lemma 2.1 at k=2: over all
+// 256 input pairs, the graph has a dominating set of size 4logk+2 iff
+// DISJ(x,y) = FALSE, and conditions 1-3 of Definition 1.1 hold.
+func TestLemma21Exhaustive(t *testing.T) {
+	f, _ := New(2)
+	if err := lbfamily.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma21SampledK4 spot-checks the family at k=4 (K=16).
+func TestLemma21SampledK4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=4 verification is slow")
+	}
+	f, _ := New(4)
+	if err := lbfamily.VerifySampled(f, rand.New(rand.NewSource(1)), 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessDominatingSet(t *testing.T) {
+	f, _ := New(4)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		x := comm.RandomBits(16, rng)
+		y := comm.RandomBits(16, rng)
+		g, err := f.Build(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := f.WitnessDominatingSet(x, y)
+		if x.Intersects(y) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(set) != f.TargetSize() {
+				t.Fatalf("witness size %d, want %d", len(set), f.TargetSize())
+			}
+			if !solver.IsDominatingSet(g, set) {
+				t.Fatalf("witness not dominating (x=%s y=%s)", x, y)
+			}
+		} else if err == nil {
+			t.Fatal("witness produced for disjoint inputs")
+		}
+	}
+}
+
+// TestMDSGapIsExact checks the sharper fact behind Lemma 2.1 on a few
+// instances: the minimum dominating set is exactly 4logk+2 on intersecting
+// inputs and strictly larger on disjoint ones.
+func TestMDSGapIsExact(t *testing.T) {
+	f, _ := New(2)
+	inter := comm.NewBits(4)
+	inter.Set(0, true)
+	g, err := f.Build(inter, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := solver.MinDominatingSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != int64(f.TargetSize()) {
+		t.Errorf("MDS = %d, want exactly %d", w, f.TargetSize())
+	}
+	zero := comm.NewBits(4)
+	g0, err := f.Build(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, _, err := solver.MinDominatingSet(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0 <= int64(f.TargetSize()) {
+		t.Errorf("disjoint MDS = %d, want > %d", w0, f.TargetSize())
+	}
+}
+
+func TestImpliedLowerBoundScaling(t *testing.T) {
+	// The Theorem 1.1 bound K/(|cut| log n) should grow roughly like
+	// k²/(log k * log k) — check it increases superlinearly in k.
+	var prev float64
+	for _, k := range []int{2, 4, 8, 16} {
+		f, _ := New(k)
+		stats, err := lbfamily.MeasureStats(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := lbfamily.ImpliedLowerBound(stats, f.Func())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb <= prev {
+			t.Errorf("bound not increasing at k=%d: %v <= %v", k, lb, prev)
+		}
+		// Superlinear in n: bound / n should grow.
+		prev = lb
+	}
+}

@@ -1,0 +1,144 @@
+package mvclb
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/solver"
+)
+
+func TestStructure(t *testing.T) {
+	f, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 16 {
+		t.Errorf("N = %d, want 16", f.N())
+	}
+	if f.CoverTarget() != 8 {
+		t.Errorf("M = %d, want 8", f.CoverTarget())
+	}
+	if f.AlphaTarget() != 8 {
+		t.Errorf("Z = %d, want 8", f.AlphaTarget())
+	}
+	g := f.BuildFixed()
+	// Gadget pair edges exist.
+	if !g.HasEdge(f.FVertex(SetA1, 0), f.TVertex(SetA1, 0)) {
+		t.Error("gadget pair edge missing")
+	}
+	// Crossing edges.
+	if !g.HasEdge(f.FVertex(SetA1, 0), f.TVertex(SetB1, 0)) {
+		t.Error("crossing edge missing")
+	}
+	if g.HasEdge(f.FVertex(SetA1, 0), f.FVertex(SetB1, 0)) {
+		t.Error("phantom f-f crossing edge")
+	}
+}
+
+func TestCutIsLogarithmic(t *testing.T) {
+	f, _ := New(8)
+	stats, err := lbfamily.MeasureStats(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * f.LogK(); stats.CutSize != want {
+		t.Errorf("cut = %d, want %d", stats.CutSize, want)
+	}
+}
+
+// TestMVCExhaustive machine-checks the family at k=2 over all 256 pairs.
+func TestMVCExhaustive(t *testing.T) {
+	f, _ := New(2)
+	if err := lbfamily.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMVCSampledK4 spot-checks at k=4.
+func TestMVCSampledK4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=4 verification is slow")
+	}
+	f, _ := New(4)
+	if err := lbfamily.VerifySampled(f, rand.New(rand.NewSource(1)), 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessIndependentSet(t *testing.T) {
+	f, _ := New(4)
+	rng := rand.New(rand.NewSource(2))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 10; trial++ {
+		x := comm.RandomBits(16, rng)
+		y := comm.RandomBits(16, rng)
+		if !x.Intersects(y) {
+			continue
+		}
+		checked++
+		g, err := f.Build(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := f.WitnessIndependentSet(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != f.AlphaTarget() {
+			t.Fatalf("witness size %d, want %d", len(set), f.AlphaTarget())
+		}
+		if !solver.IsIndependentSet(g, set) {
+			t.Fatalf("witness not independent (x=%s y=%s)", x, y)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no intersecting samples")
+	}
+}
+
+func TestAlphaExactValues(t *testing.T) {
+	f, _ := New(2)
+	// Intersecting: alpha = Z exactly.
+	x := comm.NewBits(4)
+	x.Set(1, true)
+	g, err := f.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _, err := solver.MaxIndependentSetSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != f.AlphaTarget() {
+		t.Errorf("alpha = %d, want %d", alpha, f.AlphaTarget())
+	}
+	// Disjoint: alpha < Z.
+	g0, err := f.Build(comm.NewBits(4), comm.NewBits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha0, _, err := solver.MaxIndependentSetSize(g0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha0 >= f.AlphaTarget() {
+		t.Errorf("disjoint alpha = %d, want < %d", alpha0, f.AlphaTarget())
+	}
+}
+
+func TestRowDegreesAreThetaK(t *testing.T) {
+	// The Section 3.2 size analysis relies on all row degrees being Θ(k).
+	f, _ := New(8)
+	zero := comm.NewBits(64)
+	g, err := f.Build(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if d := g.Degree(f.Row(SetA1, i)); d < 8 {
+			t.Errorf("row degree %d < k", d)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package steinerlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/solver"
+)
+
+func TestStructure(t *testing.T) {
+	f, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 2*f.MDS.N() {
+		t.Errorf("N = %d, want %d", f.N(), 2*f.MDS.N())
+	}
+	if f.TargetEdges() != 4*2+16*1+1 {
+		t.Errorf("target = %d, want 25", f.TargetEdges())
+	}
+	if got := len(f.Terminals()); got != f.MDS.N() {
+		t.Errorf("terminals = %d, want %d", got, f.MDS.N())
+	}
+	zero := comm.NewBits(4)
+	g, err := f.Build(zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Terminals form an independent set (used in the Claim 2.8 proof).
+	if !solver.IsIndependentSet(g, f.Terminals()) {
+		t.Error("terminals are not independent")
+	}
+	// Identity edges present.
+	if !g.HasEdge(0, f.Tilde(0)) {
+		t.Error("identity edge missing")
+	}
+}
+
+func TestCutIsLogarithmic(t *testing.T) {
+	f, _ := New(4)
+	stats, err := lbfamily.MeasureStats(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut: 2 copies of each of the O(log k) original cut edges plus the 2
+	// crossing edges.
+	innerStats, err := lbfamily.MeasureStats(f.MDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*innerStats.CutSize + 2
+	if stats.CutSize != want {
+		t.Errorf("cut = %d, want %d", stats.CutSize, want)
+	}
+}
+
+// TestClaim28Exhaustive machine-checks Claim 2.8 at k=2 over all 256 input
+// pairs: the derived graph has a Steiner tree with 4k+16logk+1 edges iff
+// DISJ(x,y) = FALSE, with Definition 1.1's structural conditions.
+func TestClaim28Exhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive Steiner verification is slow")
+	}
+	f, _ := New(2)
+	if err := lbfamily.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWitnessTree checks the YES direction constructively: the proof's
+// tree is a valid Steiner tree of exactly the target size.
+func TestWitnessTree(t *testing.T) {
+	f, _ := New(2)
+	rng := rand.New(rand.NewSource(1))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 12; trial++ {
+		x := comm.RandomBits(4, rng)
+		y := comm.RandomBits(4, rng)
+		if !x.Intersects(y) {
+			continue
+		}
+		checked++
+		g, err := f.Build(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := f.WitnessSteinerTree(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tree) != f.TargetEdges() {
+			t.Fatalf("witness has %d edges, want %d", len(tree), f.TargetEdges())
+		}
+		weight, ok := solver.IsSteinerTree(g, f.Terminals(), tree)
+		if !ok {
+			t.Fatalf("witness is not a Steiner tree (x=%s y=%s)", x, y)
+		}
+		if weight != int64(len(tree)) {
+			t.Fatalf("unexpected weight %d", weight)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no intersecting samples drawn")
+	}
+}
+
+// TestConverseExtraction checks the NO->dominating-set direction: from the
+// witness tree (any valid tree of target size) the extracted vertex set
+// dominates the inner MDS graph with at most 4logk+2 vertices.
+func TestConverseExtraction(t *testing.T) {
+	f, _ := New(2)
+	x := comm.NewBits(4)
+	y := comm.NewBits(4)
+	x.Set(2, true)
+	y.Set(2, true)
+	tree, err := f.WitnessSteinerTree(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := f.DominatingSetFromSteinerTree(tree)
+	if len(set) > f.MDS.TargetSize() {
+		t.Fatalf("extracted set has %d vertices, want <= %d", len(set), f.MDS.TargetSize())
+	}
+	inner, err := f.MDS.Build(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solver.IsDominatingSet(inner, set) {
+		t.Error("extracted set does not dominate the MDS graph")
+	}
+}
+
+func TestWitnessRejectsDisjoint(t *testing.T) {
+	f, _ := New(2)
+	if _, err := f.WitnessSteinerTree(comm.NewBits(4), comm.NewBits(4)); err == nil {
+		t.Error("witness produced for disjoint inputs")
+	}
+}

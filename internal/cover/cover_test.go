@@ -1,0 +1,119 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/comm"
+)
+
+func TestVerifyDetectsCoveringViolation(t *testing.T) {
+	// S_1 = {0}, S_2 = {1}: S_1 ∪ S_2 covers {0,1}, so r=2 fails.
+	c := Collection{L: 2}
+	s1 := comm.NewBits(2)
+	s1.Set(0, true)
+	s2 := comm.NewBits(2)
+	s2.Set(1, true)
+	c.Sets = []comm.Bits{s1, s2}
+	ok, err := c.VerifyRCovering(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("covering pair passed the r-covering check")
+	}
+	// But each single set leaves something uncovered: r=1 holds — except
+	// the complements! complement of S_1 is {1}... S̄_1 = {1}, doesn't
+	// cover 0. So r=1 should hold.
+	ok, err = c.VerifyRCovering(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r=1 property should hold")
+	}
+}
+
+func TestVerifyComplementPairExcluded(t *testing.T) {
+	// A single set with its complement would cover everything, but the
+	// property explicitly excludes complementary pairs — so a collection
+	// of one set (that is neither empty nor full) satisfies r=2.
+	c := Collection{L: 3}
+	s := comm.NewBits(3)
+	s.Set(0, true)
+	c.Sets = []comm.Bits{s}
+	ok, err := c.VerifyRCovering(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("single-set collection should satisfy the property")
+	}
+}
+
+func TestVerifyFullSetViolates(t *testing.T) {
+	c := Collection{L: 2}
+	full := comm.NewBits(2)
+	full.Set(0, true)
+	full.Set(1, true)
+	c.Sets = []comm.Bits{full}
+	ok, err := c.VerifyRCovering(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("collection containing the full universe passed")
+	}
+}
+
+func TestFindProducesVerifiedCollection(t *testing.T) {
+	c, err := Find(4, 12, 2, 7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.VerifyRCovering(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Find returned an unverified collection")
+	}
+	if c.T() != 4 || c.L != 12 {
+		t.Errorf("dimensions %d,%d", c.T(), c.L)
+	}
+}
+
+func TestFindDeterministic(t *testing.T) {
+	c1, err := Find(3, 10, 2, 9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Find(3, 10, 2, 9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1.Sets {
+		if !c1.Sets[i].Equal(c2.Sets[i]) {
+			t.Fatal("Find not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFindImpossibleParams(t *testing.T) {
+	// With L=1 every non-empty set or complement covers the universe.
+	if _, err := Find(2, 1, 1, 1, 50); err == nil {
+		t.Error("impossible parameters produced a collection")
+	}
+}
+
+func TestVerifyLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	big := Random(17, 8, rng)
+	if _, err := big.VerifyRCovering(2); err == nil {
+		t.Error("T=17 accepted")
+	}
+	wide := Random(2, 65, rng)
+	if _, err := wide.VerifyRCovering(2); err == nil {
+		t.Error("L=65 accepted")
+	}
+}

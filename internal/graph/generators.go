@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph on n vertices 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("cycle needs n >= 3, got %d", n)
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0)
+	return g, nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Gnp returns an Erdos-Renyi random graph: each of the C(n,2) possible edges
+// is present independently with probability p.
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// GnpWeighted returns a Gnp graph whose edge weights are drawn uniformly
+// from [1, maxWeight].
+func GnpWeighted(n int, p float64, maxWeight int64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddWeightedEdge(u, v, 1+rng.Int63n(maxWeight))
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices using
+// the pairing model with rejection: it retries until the pairing yields no
+// self loops or parallel edges. n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("degree %d out of range for n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("n*d must be even (n=%d, d=%d)", n, d)
+	}
+	const maxAttempts = 10000
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rng.Shuffle(len(stubs), func(i, j int) {
+			stubs[i], stubs[j] = stubs[j], stubs[i]
+		})
+		g := New(n)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			g.MustAddEdge(u, v)
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("random regular graph (n=%d, d=%d): too many rejections", n, d)
+}
+
+// RandomDigraph returns a random digraph where each ordered pair (u, v),
+// u != v, carries an arc independently with probability p.
+func RandomDigraph(n int, p float64, rng *rand.Rand) *Digraph {
+	d := NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				d.MustAddArc(u, v)
+			}
+		}
+	}
+	return d
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices [0,a) on one side and
+// [a, a+b) on the other.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// HamiltonianGnp returns a Gnp graph that additionally contains a (known)
+// random Hamiltonian cycle, along with the cycle vertex order. Useful as a
+// positive test workload for Hamiltonicity solvers.
+func HamiltonianGnp(n int, p float64, rng *rand.Rand) (*Graph, []int) {
+	g := Gnp(n, p, rng)
+	order := rng.Perm(n)
+	if n < 3 {
+		return g, order
+	}
+	for i := 0; i < n; i++ {
+		u, v := order[i], order[(i+1)%n]
+		if !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g, order
+}

@@ -1,0 +1,93 @@
+package lbfamily
+
+import (
+	"fmt"
+
+	"congesthard/internal/comm"
+)
+
+// VerifyDigraph is Verify for directed families (exhaustive; K <= 12).
+func VerifyDigraph(fam DigraphFamily) error {
+	k := fam.K()
+	if k > 12 {
+		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d", k)
+	}
+	inputs := make([]comm.Bits, 0, 1<<uint(k))
+	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
+		return err
+	}
+	return verifyDigraphOver(fam, inputs, inputs)
+}
+
+func verifyDigraphOver(fam DigraphFamily, xs, ys []comm.Bits) error {
+	side := fam.AliceSide()
+	bobSide := make([]bool, len(side))
+	for i, a := range side {
+		bobSide[i] = !a
+	}
+	f := fam.Func()
+
+	wantN := -1
+	cutSig := ""
+	bSigByY := make(map[string]string)
+	aSigByX := make(map[string]string)
+
+	for _, x := range xs {
+		for _, y := range ys {
+			d, err := fam.Build(x, y)
+			if err != nil {
+				return fmt.Errorf("build(%s,%s): %w", x, y, err)
+			}
+			if wantN == -1 {
+				wantN = d.N()
+				if len(side) != wantN {
+					return fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), wantN)
+				}
+			}
+			if d.N() != wantN {
+				return fmt.Errorf("condition 1 violated: vertex count %d != %d", d.N(), wantN)
+			}
+			cut := fmt.Sprintf("%v", d.CutArcs(side))
+			if cutSig == "" {
+				cutSig = cut
+			} else if cut != cutSig {
+				return fmt.Errorf("cut arcs changed with input at (%s,%s)", x, y)
+			}
+			bSig := d.SignatureWithin(bobSide)
+			if prev, ok := bSigByY[y.String()]; ok && prev != bSig {
+				return fmt.Errorf("condition 2 violated: G[V_B] changed with x at (%s,%s)", x, y)
+			}
+			bSigByY[y.String()] = bSig
+			aSig := d.SignatureWithin(side)
+			if prev, ok := aSigByX[x.String()]; ok && prev != aSig {
+				return fmt.Errorf("condition 3 violated: G[V_A] changed with y at (%s,%s)", x, y)
+			}
+			aSigByX[x.String()] = aSig
+
+			got, err := fam.Predicate(d)
+			if err != nil {
+				return fmt.Errorf("predicate at (%s,%s): %w", x, y, err)
+			}
+			if want := f.Eval(x, y); got != want {
+				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, got, f.Name(), want)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureDigraphStats builds the all-zeros instance of a directed family
+// and reports its parameters.
+func MeasureDigraphStats(fam DigraphFamily) (Stats, error) {
+	zero := comm.NewBits(fam.K())
+	d, err := fam.Build(zero, zero)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		N:       d.N(),
+		M:       d.M(),
+		CutSize: len(d.CutArcs(fam.AliceSide())),
+		K:       fam.K(),
+	}, nil
+}

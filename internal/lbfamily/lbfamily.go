@@ -1,0 +1,273 @@
+// Package lbfamily implements the paper's central abstraction, the family
+// of lower bound graphs (Definition 1.1), and makes Theorem 1.1 executable:
+//
+//   - A Family builds the graph G_{x,y} for any input pair and exposes the
+//     fixed Alice/Bob vertex partition and the predicate P.
+//   - Verify checks conditions 1-4 of Definition 1.1 exhaustively (all
+//     2^K x 2^K input pairs) using an exact solver as the predicate oracle;
+//     VerifySampled spot-checks larger parameters.
+//   - ImpliedLowerBound evaluates the Theorem 1.1 round bound
+//     Ω(CC(f) / (|E_cut| log n)) from the measured family parameters.
+//   - SimulateTwoParty runs a CONGEST algorithm on G_{x,y} with the cut
+//     metered, realizing the Alice-Bob simulation that proves Theorem 1.1.
+package lbfamily
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+)
+
+// Family is a family of lower bound graphs {G_{x,y}} with respect to a
+// two-party function f and a graph predicate P (Definition 1.1).
+type Family interface {
+	// Name identifies the family, e.g. "mds".
+	Name() string
+	// K is the input length per player.
+	K() int
+	// Func is the function f the family reduces from. By Definition 1.1
+	// condition 4, Predicate(Build(x,y)) must equal Func().Eval(x,y).
+	Func() comm.Function
+	// Build constructs G_{x,y}.
+	Build(x, y comm.Bits) (*graph.Graph, error)
+	// AliceSide marks V_A in the (input-independent) vertex set.
+	AliceSide() []bool
+	// Predicate decides P exactly (it may be expensive; it is the
+	// verification oracle, not part of the construction).
+	Predicate(g *graph.Graph) (bool, error)
+}
+
+// DigraphFamily is the directed-graph analogue of Family, used by the
+// Hamiltonian path and directed Steiner constructions.
+type DigraphFamily interface {
+	Name() string
+	K() int
+	Func() comm.Function
+	Build(x, y comm.Bits) (*graph.Digraph, error)
+	AliceSide() []bool
+	Predicate(d *graph.Digraph) (bool, error)
+}
+
+// Stats are the measured parameters of a family that determine the
+// Theorem 1.1 bound.
+type Stats struct {
+	N       int // vertices in G_{x,y} (fixed across inputs)
+	M       int // edges of the all-zero instance
+	CutSize int // |E_cut|
+	K       int // input bits per player
+}
+
+// MeasureStats builds the all-zeros instance and reports its parameters.
+func MeasureStats(fam Family) (Stats, error) {
+	zero := comm.NewBits(fam.K())
+	g, err := fam.Build(zero, zero)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		N:       g.N(),
+		M:       g.M(),
+		CutSize: len(g.CutEdges(fam.AliceSide())),
+		K:       fam.K(),
+	}, nil
+}
+
+// ImpliedLowerBound evaluates Theorem 1.1: a family w.r.t. f yields a round
+// lower bound of Ω(CC(f) / (|E_cut| log n)). CC(f) is taken from the known
+// complexity table (DISJ and EQ and their negations); the result drops
+// constant factors.
+func ImpliedLowerBound(stats Stats, f comm.Function) (float64, error) {
+	inner := f
+	if neg, ok := f.(comm.Negation); ok {
+		inner = neg.F // CC(f) = CC(not f)
+	}
+	c, ok := comm.KnownComplexity(inner)
+	if !ok {
+		return 0, fmt.Errorf("no known complexity for function %s", f.Name())
+	}
+	if stats.CutSize == 0 || stats.N < 2 {
+		return 0, fmt.Errorf("degenerate family stats: %+v", stats)
+	}
+	return c.Deterministic(stats.K) / (float64(stats.CutSize) * math.Log2(float64(stats.N))), nil
+}
+
+// Verify checks Definition 1.1 exhaustively for all input pairs; it
+// requires K <= 12 (2^(2K) predicate evaluations). It checks:
+//
+//  1. the vertex set (count and order) is fixed;
+//  2. for fixed y, varying x changes nothing in G[V_B] nor the cut;
+//  3. symmetrically for x;
+//  4. Predicate(G_{x,y}) == f(x, y) for every pair.
+func Verify(fam Family) error {
+	k := fam.K()
+	if k > 12 {
+		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampled)", k)
+	}
+	inputs := make([]comm.Bits, 0, 1<<uint(k))
+	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
+		return err
+	}
+	return verifyOver(fam, inputs, inputs, true)
+}
+
+// VerifySampled checks Definition 1.1 on trials random input pairs plus the
+// all-zeros and all-ones corners. Structural conditions (1-3) are checked
+// pairwise across the sample.
+func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
+	k := fam.K()
+	ones := comm.NewBits(k)
+	for i := 0; i < k; i++ {
+		ones.Set(i, true)
+	}
+	inputs := []comm.Bits{comm.NewBits(k), ones}
+	for i := 0; i < trials; i++ {
+		inputs = append(inputs, comm.RandomBits(k, rng))
+	}
+	return verifyOver(fam, inputs, inputs, false)
+}
+
+func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
+	side := fam.AliceSide()
+	bobSide := make([]bool, len(side))
+	for i, a := range side {
+		bobSide[i] = !a
+	}
+	f := fam.Func()
+
+	var wantN = -1
+	cutSig := ""
+	// Condition 2: G[V_B] depends only on y. Record the V_B signature per y
+	// and require it constant across x. Symmetrically for V_A per x.
+	bSigByY := make(map[string]string)
+	aSigByX := make(map[string]string)
+
+	for _, x := range xs {
+		for _, y := range ys {
+			g, err := fam.Build(x, y)
+			if err != nil {
+				return fmt.Errorf("build(%s,%s): %w", x, y, err)
+			}
+			if wantN == -1 {
+				wantN = g.N()
+				if len(side) != wantN {
+					return fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), wantN)
+				}
+			}
+			if g.N() != wantN {
+				return fmt.Errorf("condition 1 violated: vertex count %d != %d at (%s,%s)", g.N(), wantN, x, y)
+			}
+			cut := fmt.Sprintf("%v", g.CutEdges(side))
+			if cutSig == "" {
+				cutSig = cut
+			} else if cut != cutSig {
+				return fmt.Errorf("cut edges changed with input at (%s,%s)", x, y)
+			}
+			bKey := y.String()
+			bSig := g.SignatureWithin(bobSide)
+			if prev, ok := bSigByY[bKey]; ok && prev != bSig {
+				return fmt.Errorf("condition 2 violated: G[V_B] changed with x at (%s,%s)", x, y)
+			}
+			bSigByY[bKey] = bSig
+			aKey := x.String()
+			aSig := g.SignatureWithin(side)
+			if prev, ok := aSigByX[aKey]; ok && prev != aSig {
+				return fmt.Errorf("condition 3 violated: G[V_A] changed with y at (%s,%s)", x, y)
+			}
+			aSigByX[aKey] = aSig
+
+			got, err := fam.Predicate(g)
+			if err != nil {
+				return fmt.Errorf("predicate at (%s,%s): %w", x, y, err)
+			}
+			want := f.Eval(x, y)
+			if got != want {
+				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, got, f.Name(), want)
+			}
+		}
+	}
+	_ = exhaustive
+	return nil
+}
+
+// SimulateTwoParty runs a CONGEST algorithm on G_{x,y} with Alice
+// simulating V_A and Bob V_B, metering the bits that cross the cut. This is
+// the simulation at the heart of Theorem 1.1: a T-round algorithm yields a
+// protocol exchanging at most 2*T*|E_cut|*B bits.
+func SimulateTwoParty(fam Family, x, y comm.Bits, factory congest.Factory) (*congest.Result, error) {
+	g, err := fam.Build(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return congest.Run(g, factory, congest.Options{CutSide: fam.AliceSide()})
+}
+
+// DerivedFamily implements Theorem 2.6 (reductions between families of
+// lower bound graphs): it transforms every graph of an inner family with a
+// fixed, input-oblivious transformation and replaces the predicate. If the
+// transformation maps V_A-local structure to V'_A-local structure (and
+// symmetrically) — which Verify re-checks from scratch — the derived family
+// is again a family of lower bound graphs.
+type DerivedFamily struct {
+	// Inner is the source family (P1 in Theorem 2.6).
+	Inner Family
+	// FamilyName names the derived family.
+	FamilyName string
+	// Transform maps G_{x,y} and the inner Alice side to the derived graph
+	// and its Alice side. It must be deterministic and input-oblivious.
+	Transform func(g *graph.Graph, aliceSide []bool) (*graph.Graph, []bool, error)
+	// Pred decides the derived predicate P2.
+	Pred func(g *graph.Graph) (bool, error)
+	// F overrides the function; nil keeps the inner family's function.
+	F comm.Function
+
+	cachedSide []bool
+}
+
+var _ Family = (*DerivedFamily)(nil)
+
+// Name returns the derived family's name.
+func (d *DerivedFamily) Name() string { return d.FamilyName }
+
+// K returns the inner family's input length.
+func (d *DerivedFamily) K() int { return d.Inner.K() }
+
+// Func returns the override function or the inner one.
+func (d *DerivedFamily) Func() comm.Function {
+	if d.F != nil {
+		return d.F
+	}
+	return d.Inner.Func()
+}
+
+// Build builds the inner graph and applies the transformation.
+func (d *DerivedFamily) Build(x, y comm.Bits) (*graph.Graph, error) {
+	g, err := d.Inner.Build(x, y)
+	if err != nil {
+		return nil, err
+	}
+	out, side, err := d.Transform(g, d.Inner.AliceSide())
+	if err != nil {
+		return nil, err
+	}
+	d.cachedSide = side
+	return out, nil
+}
+
+// AliceSide returns the derived partition (building the zero instance if
+// needed to learn it).
+func (d *DerivedFamily) AliceSide() []bool {
+	if d.cachedSide == nil {
+		zero := comm.NewBits(d.K())
+		if _, err := d.Build(zero, zero); err != nil {
+			return nil
+		}
+	}
+	return d.cachedSide
+}
+
+// Predicate decides the derived predicate.
+func (d *DerivedFamily) Predicate(g *graph.Graph) (bool, error) { return d.Pred(g) }

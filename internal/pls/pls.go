@@ -1,0 +1,164 @@
+// Package pls implements proof labeling schemes (Section 5.2.2): a prover
+// assigns each vertex an O(log n)-bit label; a distributed verifier at
+// each vertex sees its own label, its neighbors' labels and its local
+// state, and accepts or rejects. Completeness: on YES instances some
+// labeling makes everyone accept. Soundness: on NO instances every
+// labeling is rejected somewhere.
+//
+// Via Theorem 5.1, any predicate with an O(log n)-bit PLS for both itself
+// and its negation admits an O(|E_cut|·log n)-bit nondeterministic
+// two-party protocol, capping Theorem 1.1 lower bounds (Corollary 5.3).
+// The schemes here cover Claims 5.12-5.13 (matching size, weighted s-t
+// distance) and the Lemma 5.1 verification problems.
+package pls
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// Instance is a verification problem input: the communication graph, an
+// optional marked subgraph H, optional marked vertices s and t, and an
+// optional numeric threshold K.
+type Instance struct {
+	G *graph.Graph
+	// H marks subgraph edges in canonical (min,max) form; nil means no
+	// subgraph is marked.
+	H map[[2]int]bool
+	// S and T are marked vertices (-1 when absent).
+	S, T int
+	// K is the threshold parameter of threshold predicates.
+	K int64
+}
+
+// NewInstance returns an instance with no marks.
+func NewInstance(g *graph.Graph) *Instance {
+	return &Instance{G: g, S: -1, T: -1}
+}
+
+// MarkH marks the edge {u, v} (which must exist in G) as part of H.
+func (inst *Instance) MarkH(u, v int) error {
+	if !inst.G.HasEdge(u, v) {
+		return fmt.Errorf("edge {%d,%d} not in G", u, v)
+	}
+	if inst.H == nil {
+		inst.H = map[[2]int]bool{}
+	}
+	if u > v {
+		u, v = v, u
+	}
+	inst.H[[2]int{u, v}] = true
+	return nil
+}
+
+// InH reports whether {u, v} is marked.
+func (inst *Instance) InH(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return inst.H[[2]int{u, v}]
+}
+
+// HNeighbors returns v's neighbors along marked edges.
+func (inst *Instance) HNeighbors(v int) []int {
+	var nbrs []int
+	for _, h := range inst.G.Neighbors(v) {
+		if inst.InH(v, h.To) {
+			nbrs = append(nbrs, h.To)
+		}
+	}
+	return nbrs
+}
+
+// HSubgraph returns H as a graph on the same vertex set.
+func (inst *Instance) HSubgraph() *graph.Graph {
+	h := graph.New(inst.G.N())
+	for key := range inst.H {
+		h.MustAddEdge(key[0], key[1])
+	}
+	return h
+}
+
+// Label is one vertex's proof, a short vector of integers (each O(log n)
+// or O(log W) bits).
+type Label []int64
+
+// Labeling assigns a label to every vertex.
+type Labeling [][]int64
+
+// Scheme is a proof labeling scheme for one predicate.
+type Scheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// Prove returns an accepting labeling when the predicate holds, or
+	// ok = false when it does not (an honest prover cannot certify a NO
+	// instance).
+	Prove(inst *Instance) (Labeling, bool, error)
+	// VerifyVertex is the local verifier at v: it may read inst's local
+	// structure at v, v's label, and the labels of v's neighbors only.
+	VerifyVertex(inst *Instance, v int, labels Labeling) bool
+}
+
+// Accepts runs the verifier at every vertex.
+func Accepts(s Scheme, inst *Instance, labels Labeling) bool {
+	for v := 0; v < inst.G.N(); v++ {
+		if !s.VerifyVertex(inst, v, labels) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProofBits returns the labeling's maximum label size in bits, counting
+// each field as 2·ceil(log2(n+2)) bits (ids and distances).
+func ProofBits(inst *Instance, labels Labeling) int {
+	n := inst.G.N()
+	fieldBits := 1
+	for (1 << uint(fieldBits)) < n+2 {
+		fieldBits++
+	}
+	maxFields := 0
+	for _, l := range labels {
+		if len(l) > maxFields {
+			maxFields = len(l)
+		}
+	}
+	return maxFields * 2 * fieldBits
+}
+
+// distanceTree computes BFS parent/dist arrays in a subgraph selected by
+// useEdge; unreachable vertices get dist -1.
+func distanceTree(g *graph.Graph, root int, useEdge func(u, v int) bool) (parent, dist []int) {
+	n := g.N()
+	parent = make([]int, n)
+	dist = make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	if root < 0 || root >= n {
+		return parent, dist
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			if dist[h.To] < 0 && useEdge(v, h.To) {
+				dist[h.To] = dist[v] + 1
+				parent[h.To] = v
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return parent, dist
+}
+
+func labelOf(labels Labeling, v, field int) int64 {
+	if v < 0 || v >= len(labels) || field >= len(labels[v]) {
+		return -1 << 40
+	}
+	return labels[v][field]
+}

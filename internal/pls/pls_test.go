@@ -1,0 +1,308 @@
+package pls
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/graph"
+)
+
+// markAll marks every edge of g as part of H.
+func markAll(inst *Instance) {
+	for _, e := range inst.G.Edges() {
+		_ = inst.MarkH(e.U, e.V)
+	}
+}
+
+// markTree marks a BFS spanning tree of g.
+func markTree(inst *Instance) {
+	all := func(u, v int) bool { return true }
+	parent, _ := distanceTree(inst.G, 0, all)
+	for v, p := range parent {
+		if p >= 0 {
+			_ = inst.MarkH(v, p)
+		}
+	}
+}
+
+// checkCompleteness proves and verifies; the result must be accepted.
+func checkCompleteness(t *testing.T, s Scheme, inst *Instance) Labeling {
+	t.Helper()
+	labels, ok, err := s.Prove(inst)
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	if !ok {
+		t.Fatalf("%s: honest prover refused a YES instance", s.Name())
+	}
+	if !Accepts(s, inst, labels) {
+		t.Fatalf("%s: honest labels rejected", s.Name())
+	}
+	if bits := ProofBits(inst, labels); bits > 200 {
+		t.Errorf("%s: proof size %d bits suspiciously large", s.Name(), bits)
+	}
+	return labels
+}
+
+// checkSoundnessSmoke: the prover must refuse NO instances, and a basket
+// of adversarial labelings must be rejected somewhere.
+func checkSoundnessSmoke(t *testing.T, s Scheme, noInst *Instance, stolen Labeling) {
+	t.Helper()
+	if _, ok, err := s.Prove(noInst); err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	} else if ok {
+		t.Fatalf("%s: prover certified a NO instance", s.Name())
+	}
+	n := noInst.G.N()
+	candidates := []Labeling{}
+	if stolen != nil && len(stolen) == n {
+		candidates = append(candidates, stolen)
+	}
+	zero := make(Labeling, n)
+	for v := range zero {
+		zero[v] = Label{0, 0, 0}
+	}
+	candidates = append(candidates, zero)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		l := make(Labeling, n)
+		for v := range l {
+			l[v] = Label{rng.Int63n(int64(n + 2)), rng.Int63n(int64(n + 2)), rng.Int63n(int64(n + 2))}
+		}
+		candidates = append(candidates, l)
+	}
+	for i, l := range candidates {
+		if Accepts(s, noInst, l) {
+			t.Fatalf("%s: adversarial labeling %d accepted on NO instance", s.Name(), i)
+		}
+	}
+}
+
+func TestSpanningTreeScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Gnp(9, 0.5, rng)
+	for !g.IsConnected() {
+		g = graph.Gnp(9, 0.5, rng)
+	}
+	yes := NewInstance(g)
+	markTree(yes)
+	labels := checkCompleteness(t, SpanningTree{}, yes)
+
+	// NO: a tree plus one extra edge (cycle), and a tree minus one edge.
+	no := NewInstance(g)
+	markTree(no)
+	for _, e := range g.Edges() {
+		if !no.InH(e.U, e.V) {
+			_ = no.MarkH(e.U, e.V)
+			break
+		}
+	}
+	checkSoundnessSmoke(t, SpanningTree{}, no, labels)
+}
+
+func TestConnectivityScheme(t *testing.T) {
+	g := graph.Path(7)
+	yes := NewInstance(g)
+	markAll(yes)
+	labels := checkCompleteness(t, Connectivity{}, yes)
+
+	// NO: drop a middle edge: H no longer spans connectedly.
+	no := NewInstance(g)
+	for _, e := range g.Edges() {
+		if e.U != 3 {
+			_ = no.MarkH(e.U, e.V)
+		}
+	}
+	checkSoundnessSmoke(t, Connectivity{}, no, labels)
+}
+
+func TestNonConnectivityScheme(t *testing.T) {
+	g := graph.Path(6)
+	yes := NewInstance(g) // H with a gap
+	for _, e := range g.Edges() {
+		if e.U != 2 {
+			_ = yes.MarkH(e.U, e.V)
+		}
+	}
+	labels := checkCompleteness(t, NonConnectivity{}, yes)
+
+	no := NewInstance(g)
+	markAll(no) // H connected and spanning
+	checkSoundnessSmoke(t, NonConnectivity{}, no, labels)
+}
+
+func TestSTConnectivityScheme(t *testing.T) {
+	g := graph.Path(6)
+	yes := NewInstance(g)
+	markAll(yes)
+	yes.S, yes.T = 0, 5
+	labels := checkCompleteness(t, STConnectivity{}, yes)
+
+	no := NewInstance(g)
+	no.S, no.T = 0, 5
+	for _, e := range g.Edges() {
+		if e.U != 2 {
+			_ = no.MarkH(e.U, e.V)
+		}
+	}
+	checkSoundnessSmoke(t, STConnectivity{}, no, labels)
+}
+
+func TestNonSTConnectivityScheme(t *testing.T) {
+	g := graph.Path(6)
+	yes := NewInstance(g)
+	yes.S, yes.T = 0, 5
+	for _, e := range g.Edges() {
+		if e.U != 2 {
+			_ = yes.MarkH(e.U, e.V)
+		}
+	}
+	labels := checkCompleteness(t, NonSTConnectivity{}, yes)
+
+	no := NewInstance(g)
+	no.S, no.T = 0, 5
+	markAll(no)
+	checkSoundnessSmoke(t, NonSTConnectivity{}, no, labels)
+}
+
+func TestAcyclicityScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Gnp(9, 0.4, rng)
+	for !g.IsConnected() {
+		g = graph.Gnp(9, 0.4, rng)
+	}
+	yes := NewInstance(g)
+	markTree(yes)
+	labels := checkCompleteness(t, Acyclicity{}, yes)
+
+	no := NewInstance(g)
+	markTree(no)
+	for _, e := range g.Edges() {
+		if !no.InH(e.U, e.V) {
+			_ = no.MarkH(e.U, e.V) // creates a cycle
+			break
+		}
+	}
+	checkSoundnessSmoke(t, Acyclicity{}, no, labels)
+}
+
+func TestCycleContainmentScheme(t *testing.T) {
+	g, _ := graph.Cycle(7)
+	yes := NewInstance(g)
+	markAll(yes)
+	labels := checkCompleteness(t, CycleContainment{}, yes)
+
+	no := NewInstance(g) // H = path (drop one cycle edge)
+	edges := g.Edges()
+	for _, e := range edges[:len(edges)-1] {
+		_ = no.MarkH(e.U, e.V)
+	}
+	checkSoundnessSmoke(t, CycleContainment{}, no, labels)
+}
+
+func TestBipartitenessScheme(t *testing.T) {
+	g, _ := graph.Cycle(6) // even cycle: bipartite
+	yes := NewInstance(g)
+	markAll(yes)
+	labels := checkCompleteness(t, Bipartiteness{}, yes)
+
+	odd, _ := graph.Cycle(5)
+	no := NewInstance(odd)
+	markAll(no)
+	checkSoundnessSmoke(t, Bipartiteness{}, no, labels[:5])
+}
+
+func TestNonBipartitenessScheme(t *testing.T) {
+	odd, _ := graph.Cycle(5)
+	yes := NewInstance(odd)
+	markAll(yes)
+	labels := checkCompleteness(t, NonBipartiteness{}, yes)
+
+	even, _ := graph.Cycle(6)
+	no := NewInstance(even)
+	markAll(no)
+	checkSoundnessSmoke(t, NonBipartiteness{}, no, append(labels, Label{1, -1}))
+}
+
+func TestCutSchemes(t *testing.T) {
+	g := graph.Path(6)
+	yes := NewInstance(g)
+	_ = yes.MarkH(2, 3) // removing {2,3} disconnects the path
+	labels := checkCompleteness(t, CutVerification{}, yes)
+
+	cyc, _ := graph.Cycle(6)
+	no := NewInstance(cyc)
+	_ = no.MarkH(0, 1) // one cycle edge is not a cut
+	checkSoundnessSmoke(t, CutVerification{}, no, labels)
+
+	// NonCut: the cycle instance is YES, the path instance is NO.
+	nonCutLabels := checkCompleteness(t, NonCut{}, no)
+	checkSoundnessSmoke(t, NonCut{}, yes, nonCutLabels)
+}
+
+func TestWdistSchemes(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddWeightedEdge(0, 1, 2)
+	g.MustAddWeightedEdge(1, 2, 3)
+	g.MustAddWeightedEdge(2, 3, 4)
+	g.MustAddWeightedEdge(0, 3, 20) // dist(0,3) = 9
+
+	atLeast := NewInstance(g)
+	atLeast.S, atLeast.T = 0, 3
+	atLeast.K = 9
+	labels := checkCompleteness(t, WdistAtLeast{}, atLeast)
+
+	tooHigh := NewInstance(g)
+	tooHigh.S, tooHigh.T = 0, 3
+	tooHigh.K = 10
+	checkSoundnessSmoke(t, WdistAtLeast{}, tooHigh, labels)
+
+	lessThan := NewInstance(g)
+	lessThan.S, lessThan.T = 0, 3
+	lessThan.K = 10
+	lessLabels := checkCompleteness(t, WdistLessThan{}, lessThan)
+
+	tooLow := NewInstance(g)
+	tooLow.S, tooLow.T = 0, 3
+	tooLow.K = 9
+	checkSoundnessSmoke(t, WdistLessThan{}, tooLow, lessLabels)
+}
+
+func TestMatchingAtLeastScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Gnp(8, 0.5, rng)
+	for !g.IsConnected() {
+		g = graph.Gnp(8, 0.5, rng)
+	}
+	nu, _, err := maxMatchingFn(NewInstance(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu < 1 {
+		t.Skip("degenerate draw")
+	}
+	yes := NewInstance(g)
+	yes.K = int64(nu)
+	labels := checkCompleteness(t, MatchingAtLeast{}, yes)
+
+	no := NewInstance(g)
+	no.K = int64(nu + 1)
+	checkSoundnessSmoke(t, MatchingAtLeast{}, no, labels)
+}
+
+func TestInstanceValidation(t *testing.T) {
+	g := graph.Path(3)
+	inst := NewInstance(g)
+	if err := inst.MarkH(0, 2); err == nil {
+		t.Error("marking a non-edge accepted")
+	}
+	if err := inst.MarkH(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.InH(1, 0) {
+		t.Error("InH not symmetric")
+	}
+	if got := inst.HNeighbors(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("HNeighbors = %v", got)
+	}
+}

@@ -1,0 +1,532 @@
+package pls
+
+import "congesthard/internal/graph"
+
+// SpanningTree verifies that H is a spanning tree of G (Lemma 5.1 item
+// 11, YES direction). Labels: [rootID, dist]. Each vertex checks that all
+// neighbors agree on the root, that it has an H-neighbor one closer to
+// the root (unless it is the root), and that every incident H-edge is a
+// parent link of one of its endpoints.
+type SpanningTree struct{}
+
+var _ Scheme = SpanningTree{}
+
+// Name returns "spanning-tree".
+func (SpanningTree) Name() string { return "spanning-tree" }
+
+// Prove labels vertices with the BFS tree of H from vertex 0.
+func (SpanningTree) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	h := inst.HSubgraph()
+	if h.M() != n-1 || !h.IsConnected() {
+		return nil, false, nil
+	}
+	_, dist := distanceTree(inst.G, 0, inst.InH)
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		labels[v] = Label{0, int64(dist[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks local tree consistency.
+func (SpanningTree) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	root := labelOf(labels, v, 0)
+	dist := labelOf(labels, v, 1)
+	if dist < 0 {
+		return false
+	}
+	if dist == 0 && int64(v) != root {
+		return false
+	}
+	hasParent := dist == 0
+	hDeg := 0
+	for _, h := range inst.G.Neighbors(v) {
+		if labelOf(labels, h.To, 0) != root {
+			return false
+		}
+		if !inst.InH(v, h.To) {
+			continue
+		}
+		hDeg++
+		nd := labelOf(labels, h.To, 1)
+		// Every H-edge must connect consecutive levels.
+		if nd != dist-1 && nd != dist+1 {
+			return false
+		}
+		if nd == dist-1 {
+			if hasParent && dist != 0 {
+				return false // two parents: a cycle through v's level
+			}
+			hasParent = true
+		}
+	}
+	if !hasParent {
+		return false
+	}
+	// Spanning: every vertex must touch H unless the graph is a single
+	// vertex.
+	if inst.G.N() > 1 && hDeg == 0 {
+		return false
+	}
+	return true
+}
+
+// Connectivity verifies that the marked subgraph H is connected over its
+// support and G (item 6): labels [rootID, distInH], where vertices not
+// touching H must also carry the component info through G... the paper's
+// variant marks H spanning all of V; here a vertex with no H edges
+// accepts only if no vertex has H edges (H empty) — matching "H is a
+// connected spanning subgraph" (item 1) when H is non-empty.
+type Connectivity struct{}
+
+var _ Scheme = Connectivity{}
+
+// Name returns "connectivity".
+func (Connectivity) Name() string { return "connectivity" }
+
+// Prove labels every vertex with its H-distance from the minimum vertex
+// touching H.
+func (Connectivity) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	if len(inst.H) == 0 {
+		return nil, false, nil
+	}
+	root := -1
+	for v := 0; v < n; v++ {
+		if len(inst.HNeighbors(v)) > 0 {
+			root = v
+			break
+		}
+	}
+	_, dist := distanceTree(inst.G, root, inst.InH)
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 {
+			return nil, false, nil // some vertex not spanned by H
+		}
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		labels[v] = Label{int64(root), int64(dist[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks the distance labeling.
+func (Connectivity) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	root := labelOf(labels, v, 0)
+	dist := labelOf(labels, v, 1)
+	if dist < 0 {
+		return false
+	}
+	if dist == 0 && int64(v) != root {
+		return false
+	}
+	for _, h := range inst.G.Neighbors(v) {
+		if labelOf(labels, h.To, 0) != root {
+			return false
+		}
+	}
+	if dist == 0 {
+		return true
+	}
+	for _, u := range inst.HNeighbors(v) {
+		if labelOf(labels, u, 1) == dist-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// NonConnectivity verifies that H is NOT a connected spanning subgraph
+// (item 1/6, NO direction): a 2-coloring monochromatic on H edges with
+// both colors present, witnessed by two G-BFS trees each rooted at a
+// vertex of one color. Labels: [color, dist0, dist1], where dist_c is the
+// G-distance to some vertex of color c.
+type NonConnectivity struct{}
+
+var _ Scheme = NonConnectivity{}
+
+// Name returns "non-connectivity".
+func (NonConnectivity) Name() string { return "non-connectivity" }
+
+// Prove 2-colors by H-components (component of the minimum H-vertex, or
+// unspanned vertices, get color 1).
+func (NonConnectivity) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	h := inst.HSubgraph()
+	comp, _ := h.Components()
+	// Color: component 0's vertices colored 0, everything else 1. If H is
+	// connected AND spanning this fails (all colored 0).
+	color := make([]int, n)
+	anyOne := false
+	for v := 0; v < n; v++ {
+		if comp[v] != comp[0] || (inst.G.N() > 1 && len(inst.HNeighbors(v)) == 0 && v != 0) {
+			color[v] = 1
+			anyOne = true
+		}
+	}
+	if !anyOne {
+		return nil, false, nil
+	}
+	root0, root1 := -1, -1
+	for v := 0; v < n; v++ {
+		if color[v] == 0 && root0 < 0 {
+			root0 = v
+		}
+		if color[v] == 1 && root1 < 0 {
+			root1 = v
+		}
+	}
+	all := func(u, v int) bool { return true }
+	_, dist0 := distanceTree(inst.G, root0, all)
+	_, dist1 := distanceTree(inst.G, root1, all)
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		if dist0[v] < 0 || dist1[v] < 0 {
+			return nil, false, nil // G disconnected: witness trees cannot span
+		}
+		labels[v] = Label{int64(color[v]), int64(dist0[v]), int64(dist1[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks monochromatic H edges and that both witness trees
+// make progress.
+func (NonConnectivity) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	color := labelOf(labels, v, 0)
+	if color != 0 && color != 1 {
+		return false
+	}
+	for _, u := range inst.HNeighbors(v) {
+		if labelOf(labels, u, 0) != color {
+			return false
+		}
+	}
+	for c := 1; c <= 2; c++ {
+		d := labelOf(labels, v, c)
+		if d < 0 {
+			return false
+		}
+		if d == 0 {
+			if color != int64(c-1) {
+				return false
+			}
+			continue
+		}
+		ok := false
+		for _, h := range inst.G.Neighbors(v) {
+			if labelOf(labels, h.To, c) == d-1 {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// STConnectivity verifies that s and t are H-connected (item 5). Labels:
+// [distInH from s] with -2 encoding "unreached".
+type STConnectivity struct{}
+
+var _ Scheme = STConnectivity{}
+
+// Name returns "st-connectivity".
+func (STConnectivity) Name() string { return "st-connectivity" }
+
+// Prove labels H-distances from s.
+func (STConnectivity) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	if inst.S < 0 || inst.T < 0 {
+		return nil, false, nil
+	}
+	_, dist := distanceTree(inst.G, inst.S, inst.InH)
+	if dist[inst.T] < 0 {
+		return nil, false, nil
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		d := int64(dist[v])
+		if dist[v] < 0 {
+			d = -2
+		}
+		labels[v] = Label{d}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks the decreasing-chain property.
+func (STConnectivity) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	if v == inst.S && d != 0 {
+		return false
+	}
+	if v == inst.T && d < 0 {
+		return false
+	}
+	if d == -2 {
+		return true
+	}
+	if d < 0 {
+		return false
+	}
+	if d == 0 {
+		return v == inst.S
+	}
+	for _, u := range inst.HNeighbors(v) {
+		if labelOf(labels, u, 0) == d-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// NonSTConnectivity verifies that s and t are in different H-components
+// (items 5 NO / 8 / 9 pattern): a coloring monochromatic on H with
+// s colored 0 and t colored 1.
+type NonSTConnectivity struct{}
+
+var _ Scheme = NonSTConnectivity{}
+
+// Name returns "non-st-connectivity".
+func (NonSTConnectivity) Name() string { return "non-st-connectivity" }
+
+// Prove colors s's H-component 0, all else 1.
+func (NonSTConnectivity) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	if inst.S < 0 || inst.T < 0 {
+		return nil, false, nil
+	}
+	_, dist := distanceTree(inst.G, inst.S, inst.InH)
+	if dist[inst.T] >= 0 {
+		return nil, false, nil
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		c := int64(1)
+		if dist[v] >= 0 {
+			c = 0
+		}
+		labels[v] = Label{c}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks color consistency and the endpoint colors.
+func (NonSTConnectivity) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	c := labelOf(labels, v, 0)
+	if c != 0 && c != 1 {
+		return false
+	}
+	if v == inst.S && c != 0 {
+		return false
+	}
+	if v == inst.T && c != 1 {
+		return false
+	}
+	for _, u := range inst.HNeighbors(v) {
+		if labelOf(labels, u, 0) != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclicity verifies that H contains no cycle (item 2, NO direction):
+// per H-component a root orientation with strictly decreasing distances.
+// Labels: [dist to component root].
+type Acyclicity struct{}
+
+var _ Scheme = Acyclicity{}
+
+// Name returns "acyclicity".
+func (Acyclicity) Name() string { return "acyclicity" }
+
+// Prove roots every H-component at its minimum vertex.
+func (Acyclicity) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	h := inst.HSubgraph()
+	if h.M() > 0 {
+		comp, count := h.Components()
+		// Forest iff m = n - #components.
+		if h.M() != n-count {
+			return nil, false, nil
+		}
+		_ = comp
+	}
+	labels := make(Labeling, n)
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		_, dist := distanceTree(inst.G, v, inst.InH)
+		for u := 0; u < n; u++ {
+			if dist[u] >= 0 && !seen[u] {
+				seen[u] = true
+				labels[u] = Label{int64(dist[u])}
+			}
+		}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks that exactly one incident H-edge goes to a
+// lower-distance vertex (none for roots) and the rest go one level up.
+func (Acyclicity) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	if d < 0 {
+		return false
+	}
+	parents := 0
+	for _, u := range inst.HNeighbors(v) {
+		nd := labelOf(labels, u, 0)
+		switch nd {
+		case d - 1:
+			parents++
+		case d + 1:
+			// child: fine
+		default:
+			return false
+		}
+	}
+	if d == 0 {
+		return parents == 0
+	}
+	return parents == 1
+}
+
+// CycleContainment verifies that H contains a cycle (item 2, YES
+// direction): flagged vertices form a subgraph of minimum H-degree 2, and
+// every vertex carries a G-distance to the flagged set. Labels:
+// [flag, distToFlagged].
+type CycleContainment struct{}
+
+var _ Scheme = CycleContainment{}
+
+// Name returns "cycle-containment".
+func (CycleContainment) Name() string { return "cycle-containment" }
+
+// Prove finds a cycle in H (any component with m >= n) and flags it.
+func (CycleContainment) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	h := inst.HSubgraph()
+	cycle := findCycle(h)
+	if cycle == nil {
+		return nil, false, nil
+	}
+	onCycle := make([]bool, n)
+	for _, v := range cycle {
+		onCycle[v] = true
+	}
+	// Multi-source BFS in G to the cycle.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for _, v := range cycle {
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, hn := range inst.G.Neighbors(v) {
+			if dist[hn.To] < 0 {
+				dist[hn.To] = dist[v] + 1
+				queue = append(queue, hn.To)
+			}
+		}
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 {
+			return nil, false, nil // G disconnected from the cycle
+		}
+		flag := int64(0)
+		if onCycle[v] {
+			flag = 1
+		}
+		labels[v] = Label{flag, int64(dist[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks flagged degree and distance progress.
+func (CycleContainment) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	flag := labelOf(labels, v, 0)
+	d := labelOf(labels, v, 1)
+	if d < 0 {
+		return false
+	}
+	if flag == 1 {
+		if d != 0 {
+			return false
+		}
+		flaggedHNbrs := 0
+		for _, u := range inst.HNeighbors(v) {
+			if labelOf(labels, u, 0) == 1 {
+				flaggedHNbrs++
+			}
+		}
+		return flaggedHNbrs >= 2
+	}
+	if d == 0 {
+		return false // distance 0 must be flagged
+	}
+	for _, h := range inst.G.Neighbors(v) {
+		if labelOf(labels, h.To, 1) == d-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// findCycle returns the vertex sequence of some cycle in g, or nil.
+func findCycle(g *graph.Graph) []int {
+	n := g.N()
+	parent := make([]int, n)
+	state := make([]int, n) // 0 unvisited, 1 active path, 2 done
+	for i := range parent {
+		parent[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		// Iterative DFS.
+		type frame struct{ v, idx int }
+		stack := []frame{{v: start}}
+		state[start] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.Neighbors(f.v)) {
+				u := g.Neighbors(f.v)[f.idx].To
+				f.idx++
+				if u == parent[f.v] {
+					continue
+				}
+				if state[u] == 1 {
+					// Back edge: walk the parent chain from f.v to u.
+					cycle := []int{u}
+					for w := f.v; w != u; w = parent[w] {
+						cycle = append(cycle, w)
+					}
+					return cycle
+				}
+				if state[u] == 0 {
+					state[u] = 1
+					parent[u] = f.v
+					stack = append(stack, frame{v: u})
+				}
+				continue
+			}
+			state[f.v] = 2
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,510 @@
+package pls
+
+import (
+	"congesthard/internal/graph"
+	"congesthard/internal/solver"
+)
+
+// maxMatchingFn lets tests intercept the matching oracle; by default the
+// exact solver.
+func maxMatchingFn(inst *Instance) (int, []graph.Edge, error) {
+	return solver.MaxMatching(inst.G)
+}
+
+// Bipartiteness verifies that H is bipartite (item 4, YES direction):
+// labels are a 2-coloring of H.
+type Bipartiteness struct{}
+
+var _ Scheme = Bipartiteness{}
+
+// Name returns "bipartiteness".
+func (Bipartiteness) Name() string { return "bipartiteness" }
+
+// Prove 2-colors every H-component by BFS parity.
+func (Bipartiteness) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	color := make([]int64, n)
+	assigned := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if assigned[start] {
+			continue
+		}
+		_, dist := distanceTree(inst.G, start, inst.InH)
+		for v := 0; v < n; v++ {
+			if dist[v] >= 0 && !assigned[v] {
+				assigned[v] = true
+				color[v] = int64(dist[v] % 2)
+			}
+		}
+	}
+	// Validity check: H edges must be bichromatic.
+	for key := range inst.H {
+		if color[key[0]] == color[key[1]] {
+			return nil, false, nil
+		}
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		labels[v] = Label{color[v]}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks proper coloring on H edges.
+func (Bipartiteness) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	c := labelOf(labels, v, 0)
+	if c != 0 && c != 1 {
+		return false
+	}
+	for _, u := range inst.HNeighbors(v) {
+		if labelOf(labels, u, 0) == c {
+			return false
+		}
+	}
+	return true
+}
+
+// NonBipartiteness verifies that H is NOT bipartite (item 4, NO
+// direction): labels carry the exact H-distance from a root r in the odd
+// component plus a flag marking one "parity-violating" H-edge whose
+// endpoints have equal distance parity — together an odd closed walk.
+// Labels: [dist, flagEdgeEndpoint] where flagEdgeEndpoint is the id of
+// the flagged edge's other endpoint (or -1).
+type NonBipartiteness struct{}
+
+var _ Scheme = NonBipartiteness{}
+
+// Name returns "non-bipartiteness".
+func (NonBipartiteness) Name() string { return "non-bipartiteness" }
+
+// Prove finds an H-edge within a component whose BFS parities clash.
+func (NonBipartiteness) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	for root := 0; root < n; root++ {
+		_, dist := distanceTree(inst.G, root, inst.InH)
+		for key := range inst.H {
+			u, v := key[0], key[1]
+			if dist[u] >= 0 && dist[v] >= 0 && dist[u]%2 == dist[v]%2 {
+				labels := make(Labeling, n)
+				for w := 0; w < n; w++ {
+					d := int64(dist[w])
+					if dist[w] < 0 {
+						d = -2
+					}
+					labels[w] = Label{d, -1}
+				}
+				labels[u][1] = int64(v)
+				labels[v][1] = int64(u)
+				return labels, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// VerifyVertex checks distance consistency and the flagged edge's parity
+// clash. Soundness relies on: consistent distances to a common root, plus
+// one H-edge with equal parity, implies an odd closed walk in H.
+func (NonBipartiteness) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	flag := labelOf(labels, v, 1)
+	if d == -2 {
+		return flag == -1
+	}
+	if d < 0 {
+		return false
+	}
+	if d > 0 {
+		ok := false
+		for _, u := range inst.HNeighbors(v) {
+			nd := labelOf(labels, u, 0)
+			if nd == d-1 {
+				ok = true
+			}
+			if nd >= 0 && nd < d-1 || nd > d+1 {
+				return false // BFS distances differ by at most 1
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if flag >= 0 {
+		u := int(flag)
+		if !inst.InH(v, u) {
+			return false
+		}
+		if labelOf(labels, u, 1) != int64(v) {
+			return false
+		}
+		nd := labelOf(labels, u, 0)
+		if nd < 0 || (nd%2) != (d%2) {
+			return false
+		}
+	}
+	return true
+}
+
+// CutVerification verifies that H is a cut of G, i.e. G \ H is
+// disconnected (item 7): a coloring monochromatic on non-H edges with
+// both colors present (witnessed by two G-BFS trees, as in
+// NonConnectivity). Labels: [color, dist0, dist1].
+type CutVerification struct{}
+
+var _ Scheme = CutVerification{}
+
+// Name returns "cut".
+func (CutVerification) Name() string { return "cut" }
+
+// Prove colors the G\H component of vertex 0.
+func (CutVerification) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	notH := func(u, v int) bool { return !inst.InH(u, v) }
+	_, dist := distanceTree(inst.G, 0, notH)
+	root1 := -1
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 {
+			root1 = v
+			break
+		}
+	}
+	if root1 < 0 {
+		return nil, false, nil // G \ H connected: H is not a cut
+	}
+	all := func(u, v int) bool { return true }
+	_, dist0 := distanceTree(inst.G, 0, all)
+	_, dist1 := distanceTree(inst.G, root1, all)
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		if dist0[v] < 0 || dist1[v] < 0 {
+			return nil, false, nil
+		}
+		color := int64(1)
+		if dist[v] >= 0 {
+			color = 0
+		}
+		labels[v] = Label{color, int64(dist0[v]), int64(dist1[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks monochromatic non-H edges and the witness trees.
+func (CutVerification) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	color := labelOf(labels, v, 0)
+	if color != 0 && color != 1 {
+		return false
+	}
+	for _, h := range inst.G.Neighbors(v) {
+		if !inst.InH(v, h.To) && labelOf(labels, h.To, 0) != color {
+			return false
+		}
+	}
+	for c := 1; c <= 2; c++ {
+		d := labelOf(labels, v, c)
+		if d < 0 {
+			return false
+		}
+		if d == 0 {
+			if color != int64(c-1) {
+				return false
+			}
+			continue
+		}
+		ok := false
+		for _, h := range inst.G.Neighbors(v) {
+			if labelOf(labels, h.To, c) == d-1 {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NonCut verifies that H is NOT a cut: a spanning tree of G \ H. Labels:
+// [dist in G\H from vertex 0].
+type NonCut struct{}
+
+var _ Scheme = NonCut{}
+
+// Name returns "non-cut".
+func (NonCut) Name() string { return "non-cut" }
+
+// Prove labels G\H distances from vertex 0.
+func (NonCut) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	notH := func(u, v int) bool { return !inst.InH(u, v) }
+	_, dist := distanceTree(inst.G, 0, notH)
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 {
+			return nil, false, nil
+		}
+		labels[v] = Label{int64(dist[v])}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks distance progress through non-H edges.
+func (NonCut) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	if d < 0 {
+		return false
+	}
+	if d == 0 {
+		return v == 0
+	}
+	for _, h := range inst.G.Neighbors(v) {
+		if !inst.InH(v, h.To) && labelOf(labels, h.To, 0) == d-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// WdistAtLeast verifies wdist(s, t) >= K (Claim 5.13): labels are
+// values with label(s) = 0 satisfying the triangle inequality
+// label(v) <= label(u) + w(u,v) on every edge, which forces
+// label(v) <= dist(v); t accepts iff its label is at least K.
+type WdistAtLeast struct{}
+
+var _ Scheme = WdistAtLeast{}
+
+// Name returns "wdist-at-least".
+func (WdistAtLeast) Name() string { return "wdist-at-least" }
+
+// Prove labels true weighted distances.
+func (WdistAtLeast) Prove(inst *Instance) (Labeling, bool, error) {
+	if inst.S < 0 || inst.T < 0 {
+		return nil, false, nil
+	}
+	dist := inst.G.Dijkstra(inst.S)
+	if dist[inst.T] >= 0 && dist[inst.T] < inst.K {
+		return nil, false, nil
+	}
+	labels := make(Labeling, inst.G.N())
+	for v := range labels {
+		d := dist[v]
+		if d < 0 {
+			d = inst.K // unreachable: any large consistent value
+		}
+		labels[v] = Label{d}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks the triangle inequality and the endpoints.
+func (WdistAtLeast) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	if d < 0 {
+		return false
+	}
+	if v == inst.S && d != 0 {
+		return false
+	}
+	for _, h := range inst.G.Neighbors(v) {
+		if d > labelOf(labels, h.To, 0)+h.Weight {
+			return false
+		}
+	}
+	if v == inst.T && d < inst.K {
+		return false
+	}
+	return true
+}
+
+// WdistLessThan verifies wdist(s, t) < K on positively weighted graphs:
+// labels upper-bound true distances by certifying, at every finite-label
+// vertex except s, an edge realizing label(v) >= label(u) + w(u,v); the
+// strictly decreasing chain reaches s, so label(t) bounds a real path.
+type WdistLessThan struct{}
+
+var _ Scheme = WdistLessThan{}
+
+// Name returns "wdist-less-than".
+func (WdistLessThan) Name() string { return "wdist-less-than" }
+
+// Prove labels true distances (unreachable: -2, inert).
+func (WdistLessThan) Prove(inst *Instance) (Labeling, bool, error) {
+	if inst.S < 0 || inst.T < 0 {
+		return nil, false, nil
+	}
+	dist := inst.G.Dijkstra(inst.S)
+	if dist[inst.T] < 0 || dist[inst.T] >= inst.K {
+		return nil, false, nil
+	}
+	labels := make(Labeling, inst.G.N())
+	for v := range labels {
+		d := dist[v]
+		if d < 0 {
+			d = -2
+		}
+		labels[v] = Label{d}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks the certified-path property.
+func (WdistLessThan) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	d := labelOf(labels, v, 0)
+	if d == -2 {
+		return v != inst.T && v != inst.S
+	}
+	if d < 0 {
+		return false
+	}
+	if v == inst.S {
+		return d == 0
+	}
+	ok := false
+	for _, h := range inst.G.Neighbors(v) {
+		nd := labelOf(labels, h.To, 0)
+		if nd >= 0 && nd < d && d >= nd+h.Weight {
+			ok = true
+		}
+	}
+	if !ok {
+		return false
+	}
+	if v == inst.T && d >= inst.K {
+		return false
+	}
+	return true
+}
+
+// MatchingAtLeast verifies nu(G) >= K (Claim 5.12, YES direction): labels
+// mark a matching (partner ids) and aggregate the matched-vertex count
+// over a BFS spanning tree of G rooted at vertex 0. Labels:
+// [partner, dist, subtreeMatched].
+type MatchingAtLeast struct{}
+
+var _ Scheme = MatchingAtLeast{}
+
+// Name returns "matching-at-least".
+func (MatchingAtLeast) Name() string { return "matching-at-least" }
+
+// Prove marks a maximum matching and counts over the tree. Requires G
+// connected (the schemes in the paper assume a connected communication
+// graph).
+func (MatchingAtLeast) Prove(inst *Instance) (Labeling, bool, error) {
+	n := inst.G.N()
+	nu, matching, err := maxMatchingFn(inst)
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(nu) < inst.K {
+		return nil, false, nil
+	}
+	matching = matching[:inst.K] // mark exactly K edges
+	partner := make([]int64, n)
+	for v := range partner {
+		partner[v] = -1
+	}
+	for _, e := range matching {
+		partner[e.U] = int64(e.V)
+		partner[e.V] = int64(e.U)
+	}
+	all := func(u, v int) bool { return true }
+	_, dist := distanceTree(inst.G, 0, all)
+	// Parent rule must match the verifier: the minimum-id neighbor one
+	// level closer to the root.
+	parent := make([]int, n)
+	subtree := make([]int64, n)
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if dist[v] < 0 {
+			return nil, false, nil // disconnected
+		}
+		parent[v] = -1
+		for _, h := range inst.G.Neighbors(v) {
+			if dist[h.To] == dist[v]-1 && (parent[v] < 0 || h.To < parent[v]) {
+				parent[v] = h.To
+			}
+		}
+		order = append(order, v)
+	}
+	// Process in decreasing depth.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if dist[order[j]] > dist[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, v := range order {
+		if partner[v] >= 0 {
+			subtree[v]++
+		}
+		if parent[v] >= 0 {
+			subtree[parent[v]] += subtree[v]
+		}
+	}
+	labels := make(Labeling, n)
+	for v := 0; v < n; v++ {
+		labels[v] = Label{partner[v], int64(dist[v]), subtree[v]}
+	}
+	return labels, true, nil
+}
+
+// VerifyVertex checks matching symmetry, tree structure, and counting;
+// the root additionally checks the total against 2K.
+func (MatchingAtLeast) VerifyVertex(inst *Instance, v int, labels Labeling) bool {
+	partner := labelOf(labels, v, 0)
+	dist := labelOf(labels, v, 1)
+	count := labelOf(labels, v, 2)
+	if dist < 0 {
+		return false
+	}
+	if partner >= 0 {
+		if !inst.G.HasEdge(v, int(partner)) {
+			return false
+		}
+		if labelOf(labels, int(partner), 0) != int64(v) {
+			return false
+		}
+	}
+	// Tree: non-roots need a neighbor one closer; children are neighbors
+	// claiming dist+1 whose... children cannot be identified without
+	// parent ids, so we include the subtree sum check via chosen parent:
+	// every vertex at dist d adds its count to exactly one neighbor at
+	// d-1; we verify the weaker local sum: count = own + sum of counts of
+	// neighbors at dist+1 that point here. To keep it local we re-derive
+	// the parent as the minimum-id neighbor at dist-1 (the prover's BFS
+	// uses the same rule).
+	var self int64
+	if partner >= 0 {
+		self = 1
+	}
+	var childSum int64
+	for _, h := range inst.G.Neighbors(v) {
+		nd := labelOf(labels, h.To, 1)
+		if nd == dist+1 && minParent(inst, h.To, labels) == v {
+			childSum += labelOf(labels, h.To, 2)
+		}
+	}
+	if count != self+childSum {
+		return false
+	}
+	if dist == 0 {
+		if v != 0 {
+			return false
+		}
+		return count >= 2*inst.K
+	}
+	return minParent(inst, v, labels) >= 0
+}
+
+func minParent(inst *Instance, v int, labels Labeling) int {
+	dist := labelOf(labels, v, 1)
+	best := -1
+	for _, h := range inst.G.Neighbors(v) {
+		if labelOf(labels, h.To, 1) == dist-1 {
+			if best < 0 || h.To < best {
+				best = h.To
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,227 @@
+package solver
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// This file holds brute-force reference implementations used to
+// cross-validate the optimized solvers in tests. They enumerate all 2^n
+// vertex subsets and are limited to 20 vertices.
+
+const bruteLimit = 20
+
+func bruteCheckSize(n int) error {
+	if n > bruteLimit {
+		return fmt.Errorf("brute force limited to %d vertices, got %d", bruteLimit, n)
+	}
+	return nil
+}
+
+func maskToSet(mask int, n int) []int {
+	var set []int
+	for v := 0; v < n; v++ {
+		if mask>>uint(v)&1 == 1 {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+// BruteMinDominatingSetWeight returns the minimum weight of a dominating
+// set by full enumeration.
+func BruteMinDominatingSetWeight(g *graph.Graph) (int64, error) {
+	n := g.N()
+	if err := bruteCheckSize(n); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	best := int64(-1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		set := maskToSet(mask, n)
+		if !IsDominatingSet(g, set) {
+			continue
+		}
+		var weight int64
+		for _, v := range set {
+			weight += g.VertexWeight(v)
+		}
+		if best < 0 || weight < best {
+			best = weight
+		}
+	}
+	return best, nil
+}
+
+// BruteMaxWeightIndependentSet returns the maximum weight of an
+// independent set by full enumeration.
+func BruteMaxWeightIndependentSet(g *graph.Graph) (int64, error) {
+	n := g.N()
+	if err := bruteCheckSize(n); err != nil {
+		return 0, err
+	}
+	var best int64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		set := maskToSet(mask, n)
+		if !IsIndependentSet(g, set) {
+			continue
+		}
+		var weight int64
+		for _, v := range set {
+			weight += g.VertexWeight(v)
+		}
+		if weight > best {
+			best = weight
+		}
+	}
+	return best, nil
+}
+
+// BruteMaxCut returns the maximum cut weight by full enumeration.
+func BruteMaxCut(g *graph.Graph) (int64, error) {
+	n := g.N()
+	if err := bruteCheckSize(n); err != nil {
+		return 0, err
+	}
+	var best int64
+	side := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 0; v < n; v++ {
+			side[v] = mask>>uint(v)&1 == 1
+		}
+		if w := g.CutWeight(side); w > best {
+			best = w
+		}
+	}
+	return best, nil
+}
+
+// BruteMaxMatching returns the maximum matching size by enumerating edge
+// subsets (limited to 20 edges).
+func BruteMaxMatching(g *graph.Graph) (int, error) {
+	edges := g.Edges()
+	if len(edges) > bruteLimit {
+		return 0, fmt.Errorf("brute matching limited to %d edges, got %d", bruteLimit, len(edges))
+	}
+	best := 0
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		var chosen []graph.Edge
+		for i, e := range edges {
+			if mask>>uint(i)&1 == 1 {
+				chosen = append(chosen, e)
+			}
+		}
+		if len(chosen) > best && IsMatching(g, chosen) {
+			best = len(chosen)
+		}
+	}
+	return best, nil
+}
+
+// BruteHamiltonianPath reports whether g has a Hamiltonian path, by
+// permutation-free DFS over all simple paths (limited to 12 vertices).
+func BruteHamiltonianPath(g *graph.Graph) (bool, error) {
+	n := g.N()
+	if n > 12 {
+		return false, fmt.Errorf("brute hamiltonian limited to 12 vertices, got %d", n)
+	}
+	if n == 0 {
+		return false, nil
+	}
+	if n == 1 {
+		return true, nil
+	}
+	visited := make([]bool, n)
+	var dfs func(v, count int) bool
+	dfs = func(v, count int) bool {
+		if count == n {
+			return true
+		}
+		for _, h := range g.Neighbors(v) {
+			if !visited[h.To] {
+				visited[h.To] = true
+				if dfs(h.To, count+1) {
+					return true
+				}
+				visited[h.To] = false
+			}
+		}
+		return false
+	}
+	for start := 0; start < n; start++ {
+		visited[start] = true
+		if dfs(start, 1) {
+			return true, nil
+		}
+		visited[start] = false
+	}
+	return false, nil
+}
+
+// BruteSteinerTree returns the minimum Steiner tree weight by enumerating
+// subsets of non-terminals as Steiner points and taking a minimum spanning
+// tree over each candidate vertex set (limited to 16 non-terminals). Exact
+// because some optimal Steiner tree is a spanning tree of its vertex set...
+// specifically an MST of the induced subgraph on terminals plus the chosen
+// Steiner points, when the induced subgraph is connected.
+func BruteSteinerTree(g *graph.Graph, terminals []int) (int64, error) {
+	n := g.N()
+	isTerminal := make([]bool, n)
+	for _, v := range terminals {
+		isTerminal[v] = true
+	}
+	var others []int
+	for v := 0; v < n; v++ {
+		if !isTerminal[v] {
+			others = append(others, v)
+		}
+	}
+	if len(others) > 16 {
+		return 0, fmt.Errorf("brute steiner limited to 16 non-terminals, got %d", len(others))
+	}
+	best := int64(-1)
+	include := make([]bool, n)
+	for mask := 0; mask < 1<<uint(len(others)); mask++ {
+		for v := 0; v < n; v++ {
+			include[v] = isTerminal[v]
+		}
+		for i, v := range others {
+			if mask>>uint(i)&1 == 1 {
+				include[v] = true
+			}
+		}
+		sub, _ := g.InducedSubgraph(func(v int) bool { return include[v] })
+		if sub.N() == 0 || !sub.IsConnected() {
+			continue
+		}
+		w := mstWeight(sub)
+		if best < 0 || w < best {
+			best = w
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("terminals not connected")
+	}
+	return best, nil
+}
+
+func mstWeight(g *graph.Graph) int64 {
+	edges := g.Edges()
+	// Sort by weight (insertion sort; tiny inputs only).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j].Weight < edges[j-1].Weight; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	uf := newUnionFind(g.N())
+	var total int64
+	for _, e := range edges {
+		if uf.union(e.U, e.V) {
+			total += e.Weight
+		}
+	}
+	return total
+}

@@ -1,0 +1,309 @@
+package solver
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// DirectedHamiltonianPath searches for a directed Hamiltonian path in d
+// (any endpoints). It returns the path as a vertex sequence, or found =
+// false. Backtracking with forced-move propagation and reachability
+// pruning; practical on the paper's highly structured constructions up to
+// a few hundred vertices, and on random digraphs to ~30 vertices.
+func DirectedHamiltonianPath(d *graph.Digraph) ([]int, bool, error) {
+	n := d.N()
+	if n == 0 {
+		return nil, false, nil
+	}
+	for start := 0; start < n; start++ {
+		if path, found, err := DirectedHamiltonianPathFrom(d, start, -1); err != nil || found {
+			return path, found, err
+		}
+	}
+	return nil, false, nil
+}
+
+// DirectedHamiltonianPathFrom searches for a directed Hamiltonian path
+// starting at start and, if end >= 0, ending at end.
+func DirectedHamiltonianPathFrom(d *graph.Digraph, start, end int) ([]int, bool, error) {
+	n := d.N()
+	if n > 4096 {
+		return nil, false, fmt.Errorf("hamiltonian search limited to 4096 vertices, got %d", n)
+	}
+	if start < 0 || start >= n || end >= n {
+		return nil, false, fmt.Errorf("endpoints out of range: start=%d end=%d n=%d", start, end, n)
+	}
+	if n == 1 {
+		if end == 0 || end < 0 {
+			return []int{0}, true, nil
+		}
+		return nil, false, nil
+	}
+	s := &hamSearch{
+		d:       d,
+		n:       n,
+		end:     end,
+		visited: newBitset(n),
+		seen:    make([]int, n),
+		queue:   make([]int, 0, n),
+	}
+	s.path = make([]int, 0, n)
+	s.path = append(s.path, start)
+	s.visited.set(start)
+	if s.search(start) {
+		return s.path, true, nil
+	}
+	return nil, false, nil
+}
+
+type hamSearch struct {
+	d       *graph.Digraph
+	n       int
+	end     int
+	visited bitset
+	path    []int
+	// seen/queue are reused BFS scratch; seen[v] == epoch marks v reached.
+	seen  []int
+	queue []int
+	epoch int
+}
+
+// reachableForward checks that every unvisited vertex is reachable from
+// head through unvisited vertices — a necessary condition for the path to
+// visit them all.
+func (s *hamSearch) reachableForward(head int) bool {
+	s.epoch++
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, head)
+	s.seen[head] = s.epoch
+	reached := 0
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		for _, h := range s.d.OutNeighbors(v) {
+			u := h.To
+			if s.seen[u] != s.epoch && !s.visited.get(u) {
+				s.seen[u] = s.epoch
+				s.queue = append(s.queue, u)
+				reached++
+			}
+		}
+	}
+	return reached == s.n-len(s.path)
+}
+
+// reachableBackward checks (for a fixed end) that every unvisited vertex
+// can reach end through unvisited vertices.
+func (s *hamSearch) reachableBackward() bool {
+	s.epoch++
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, s.end)
+	s.seen[s.end] = s.epoch
+	reached := 1
+	for i := 0; i < len(s.queue); i++ {
+		v := s.queue[i]
+		for _, h := range s.d.InNeighbors(v) {
+			u := h.To
+			if s.seen[u] != s.epoch && !s.visited.get(u) {
+				s.seen[u] = s.epoch
+				s.queue = append(s.queue, u)
+				reached++
+			}
+		}
+	}
+	return reached == s.n-len(s.path)
+}
+
+// feasible performs the cheap degree-based death tests: every unvisited
+// vertex needs an available in-neighbor (unvisited, or the current head,
+// and only one vertex may depend on the head), and a vertex with no
+// unvisited out-neighbor can only be the path's final vertex. The returned
+// forced vertex (or -1) is a vertex whose only remaining in-neighbor is
+// head; it must be the immediate successor, which prunes branching on the
+// long degree-2 chains of the paper's constructions.
+func (s *hamSearch) feasible(head int) (bool, int) {
+	forced := -1
+	sinks := 0
+	for v := 0; v < s.n; v++ {
+		if s.visited.get(v) {
+			continue
+		}
+		inOK := false
+		viaHead := false
+		for _, h := range s.d.InNeighbors(v) {
+			if !s.visited.get(h.To) {
+				inOK = true
+				break
+			}
+			if h.To == head {
+				viaHead = true
+			}
+		}
+		if !inOK {
+			if !viaHead {
+				return false, -1
+			}
+			if forced >= 0 {
+				return false, -1 // two vertices demand the same successor slot
+			}
+			forced = v
+		}
+		outOK := false
+		for _, h := range s.d.OutNeighbors(v) {
+			if !s.visited.get(h.To) {
+				outOK = true
+				break
+			}
+		}
+		if !outOK {
+			if s.end >= 0 {
+				if v != s.end {
+					return false, -1
+				}
+			} else {
+				sinks++
+				if sinks > 1 {
+					return false, -1
+				}
+			}
+		}
+	}
+	return true, forced
+}
+
+// search extends the path from head; returns true when a full path
+// (respecting the end constraint) is found. s.path holds the result.
+func (s *hamSearch) search(head int) bool {
+	if len(s.path) == s.n {
+		return s.end < 0 || head == s.end
+	}
+	ok, forced := s.feasible(head)
+	if !ok {
+		return false
+	}
+	if !s.reachableForward(head) {
+		return false
+	}
+	if s.end >= 0 && !s.reachableBackward() {
+		return false
+	}
+	tryNext := func(next int) bool {
+		if s.visited.get(next) {
+			return false
+		}
+		if s.end >= 0 && next == s.end && len(s.path) != s.n-1 {
+			return false // reaching end early wastes it
+		}
+		s.visited.set(next)
+		s.path = append(s.path, next)
+		if s.search(next) {
+			return true
+		}
+		s.path = s.path[:len(s.path)-1]
+		s.visited.clear(next)
+		return false
+	}
+	if forced >= 0 {
+		// The forced vertex must be head's immediate successor; it is
+		// necessarily an out-neighbor (its in-neighbors include head).
+		return tryNext(forced)
+	}
+	for _, h := range s.d.OutNeighbors(head) {
+		if tryNext(h.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectedHamiltonianCycle searches for a directed Hamiltonian cycle.
+func DirectedHamiltonianCycle(d *graph.Digraph) ([]int, bool, error) {
+	n := d.N()
+	if n == 0 {
+		return nil, false, nil
+	}
+	if n == 1 {
+		return nil, false, nil // no self loops, so no 1-cycle
+	}
+	// A Hamiltonian cycle through vertex 0 is a Hamiltonian path from 0 to
+	// some in-neighbor of 0... equivalently: for each in-neighbor p of 0,
+	// search a path 0 -> ... -> p.
+	for _, h := range d.InNeighbors(0) {
+		path, found, err := DirectedHamiltonianPathFrom(d, 0, h.To)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return path, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// HamiltonianPath searches for an undirected Hamiltonian path by running
+// the directed solver on the symmetric orientation.
+func HamiltonianPath(g *graph.Graph) ([]int, bool, error) {
+	return DirectedHamiltonianPath(symmetric(g))
+}
+
+// HamiltonianPathBetween searches for an undirected Hamiltonian path with
+// the given endpoints.
+func HamiltonianPathBetween(g *graph.Graph, start, end int) ([]int, bool, error) {
+	return DirectedHamiltonianPathFrom(symmetric(g), start, end)
+}
+
+// HamiltonianCycle searches for an undirected Hamiltonian cycle.
+func HamiltonianCycle(g *graph.Graph) ([]int, bool, error) {
+	if g.N() < 3 {
+		return nil, false, nil
+	}
+	return DirectedHamiltonianCycle(symmetric(g))
+}
+
+func symmetric(g *graph.Graph) *graph.Digraph {
+	d := graph.NewDigraph(g.N())
+	for _, e := range g.Edges() {
+		d.MustAddArc(e.U, e.V)
+		d.MustAddArc(e.V, e.U)
+	}
+	return d
+}
+
+// IsDirectedHamiltonianPath validates a claimed Hamiltonian path.
+func IsDirectedHamiltonianPath(d *graph.Digraph, path []int) bool {
+	if len(path) != d.N() {
+		return false
+	}
+	seen := make([]bool, d.N())
+	for i, v := range path {
+		if v < 0 || v >= d.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if i > 0 && !d.HasArc(path[i-1], v) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHamiltonianCycle validates a claimed undirected Hamiltonian cycle given
+// as a vertex sequence (the closing edge back to the first vertex is
+// required).
+func IsHamiltonianCycle(g *graph.Graph, cycle []int) bool {
+	if len(cycle) != g.N() || g.N() < 3 {
+		return false
+	}
+	seen := make([]bool, g.N())
+	for i, v := range cycle {
+		if v < 0 || v >= g.N() || seen[v] {
+			return false
+		}
+		seen[v] = true
+		next := cycle[(i+1)%len(cycle)]
+		if !g.HasEdge(v, next) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,421 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"congesthard/internal/graph"
+)
+
+// MaxWeightIndependentSet computes a maximum-weight independent set of g
+// exactly (vertex weights; unit weights give the cardinality MaxIS of
+// Sections 3-4). The search combines branch and bound on a maximum-degree
+// vertex with standard reductions — isolated vertices are taken, dominated
+// degree-1 vertices are resolved — and solves low-degree residual graphs
+// (max degree <= 2: disjoint paths and cycles) by dynamic programming.
+// This handles both the clique-heavy gap constructions of Section 4 and
+// the sparse bounded-degree graphs of Section 3 at useful sizes.
+func MaxWeightIndependentSet(g *graph.Graph) (int64, []int, error) {
+	n := g.N()
+	if n > 1<<15 {
+		return 0, nil, fmt.Errorf("exact MaxIS limited to %d vertices, got %d", 1<<15, n)
+	}
+	if n == 0 {
+		return 0, []int{}, nil
+	}
+	for v := 0; v < n; v++ {
+		if g.VertexWeight(v) < 0 {
+			return 0, nil, fmt.Errorf("vertex %d has negative weight", v)
+		}
+	}
+	s := &misSearch{g: g, n: n}
+	s.adj = make([]bitset, n)
+	s.weights = make([]int64, n)
+	for v := 0; v < n; v++ {
+		s.adj[v] = newBitset(n)
+		for _, h := range g.Neighbors(v) {
+			s.adj[v].set(h.To)
+		}
+		s.weights[v] = g.VertexWeight(v)
+	}
+	alive := newBitset(n)
+	var total int64
+	for v := 0; v < n; v++ {
+		alive.set(v)
+		total += s.weights[v]
+	}
+	s.best = -1
+	s.current = make([]int, 0, n)
+	s.recurse(alive, total, 0)
+	sort.Ints(s.bestSet)
+	return s.best, s.bestSet, nil
+}
+
+type misSearch struct {
+	g       *graph.Graph
+	n       int
+	adj     []bitset
+	weights []int64
+	best    int64
+	bestSet []int
+	current []int
+}
+
+func (s *misSearch) record(weight int64) {
+	if weight > s.best {
+		s.best = weight
+		s.bestSet = append([]int(nil), s.current...)
+	}
+}
+
+// aliveDegree returns |N(v) ∩ alive|.
+func (s *misSearch) aliveDegree(v int, alive bitset) int {
+	deg := 0
+	for i := range alive {
+		deg += onesCount(s.adj[v][i] & alive[i])
+	}
+	return deg
+}
+
+func onesCount(v uint64) int {
+	count := 0
+	for v != 0 {
+		v &= v - 1
+		count++
+	}
+	return count
+}
+
+// takeVertex includes v: removes N[v] from alive and returns the weight of
+// removed vertices other than v.
+func (s *misSearch) takeVertex(v int, alive bitset) int64 {
+	var removed int64
+	for i := range alive {
+		gone := alive[i] & s.adj[v][i]
+		for gone != 0 {
+			b := gone & (-gone)
+			idx := i*64 + trailing(b)
+			removed += s.weights[idx]
+			gone ^= b
+		}
+		alive[i] &^= s.adj[v][i]
+	}
+	alive.clear(v)
+	return removed
+}
+
+func trailing(b uint64) int {
+	idx := 0
+	for b&1 == 0 {
+		b >>= 1
+		idx++
+	}
+	return idx
+}
+
+// recurse explores the alive subgraph. aliveWeight is the total weight of
+// alive vertices; weight is the accumulated selection weight.
+func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
+	if weight+aliveWeight <= s.best {
+		return
+	}
+	// Reduction loop: isolated vertices and dominant degree-1 vertices.
+	markLen := len(s.current)
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < s.n; v++ {
+			if !alive.get(v) {
+				continue
+			}
+			deg := s.aliveDegree(v, alive)
+			if deg == 0 {
+				alive.clear(v)
+				aliveWeight -= s.weights[v]
+				weight += s.weights[v]
+				s.current = append(s.current, v)
+				changed = true
+				continue
+			}
+			if deg == 1 {
+				u := s.soleAliveNeighbor(v, alive)
+				if s.weights[v] >= s.weights[u] {
+					removed := s.takeVertex(v, alive)
+					aliveWeight -= removed + s.weights[v]
+					weight += s.weights[v]
+					s.current = append(s.current, v)
+					changed = true
+				}
+			}
+		}
+	}
+	// Find the maximum-degree alive vertex.
+	branchVertex, maxDeg := -1, -1
+	for v := 0; v < s.n; v++ {
+		if alive.get(v) {
+			if d := s.aliveDegree(v, alive); d > maxDeg {
+				maxDeg = d
+				branchVertex = v
+			}
+		}
+	}
+	switch {
+	case branchVertex == -1:
+		s.record(weight)
+	case maxDeg <= 2:
+		extra, set := s.solvePathsAndCycles(alive)
+		s.current = append(s.current, set...)
+		s.record(weight + extra)
+		s.current = s.current[:len(s.current)-len(set)]
+	default:
+		if weight+aliveWeight > s.best {
+			// Include branch vertex.
+			incAlive := alive.clone()
+			removed := s.takeVertex(branchVertex, incAlive)
+			s.current = append(s.current, branchVertex)
+			s.recurse(incAlive, aliveWeight-removed-s.weights[branchVertex], weight+s.weights[branchVertex])
+			s.current = s.current[:len(s.current)-1]
+			// Exclude branch vertex.
+			excAlive := alive.clone()
+			excAlive.clear(branchVertex)
+			s.recurse(excAlive, aliveWeight-s.weights[branchVertex], weight)
+		}
+	}
+	s.current = s.current[:markLen]
+}
+
+func (s *misSearch) soleAliveNeighbor(v int, alive bitset) int {
+	for i := range alive {
+		if both := s.adj[v][i] & alive[i]; both != 0 {
+			return i*64 + trailing(both&(-both))
+		}
+	}
+	return -1
+}
+
+// solvePathsAndCycles solves MaxWeightIS exactly on an alive subgraph of
+// maximum degree 2 (a disjoint union of paths and cycles) by DP, returning
+// the optimal weight and the chosen vertices.
+func (s *misSearch) solvePathsAndCycles(alive bitset) (int64, []int) {
+	visited := newBitset(s.n)
+	var total int64
+	var chosen []int
+	for v := 0; v < s.n; v++ {
+		if !alive.get(v) || visited.get(v) {
+			continue
+		}
+		component := s.collectComponent(v, alive, visited)
+		order, isCycle := orderComponent(component, func(a, b int) bool { return s.adj[a].get(b) })
+		w, set := s.pathCycleDP(order, isCycle)
+		total += w
+		chosen = append(chosen, set...)
+	}
+	return total, chosen
+}
+
+func (s *misSearch) collectComponent(start int, alive, visited bitset) []int {
+	var comp []int
+	queue := []int{start}
+	visited.set(start)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		comp = append(comp, v)
+		for i := range alive {
+			nbrs := s.adj[v][i] & alive[i]
+			for nbrs != 0 {
+				b := nbrs & (-nbrs)
+				u := i*64 + trailing(b)
+				nbrs ^= b
+				if !visited.get(u) {
+					visited.set(u)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// orderComponent linearizes a path or cycle component into traversal
+// order; isCycle reports whether the component closes.
+func orderComponent(comp []int, adjacent func(a, b int) bool) ([]int, bool) {
+	if len(comp) == 1 {
+		return comp, false
+	}
+	degIn := func(v int) int {
+		d := 0
+		for _, u := range comp {
+			if u != v && adjacent(v, u) {
+				d++
+			}
+		}
+		return d
+	}
+	start := comp[0]
+	isCycle := true
+	for _, v := range comp {
+		if degIn(v) <= 1 {
+			start = v
+			isCycle = false
+			break
+		}
+	}
+	order := []int{start}
+	prev := -1
+	for len(order) < len(comp) {
+		cur := order[len(order)-1]
+		advanced := false
+		for _, u := range comp {
+			if u != cur && u != prev && adjacent(cur, u) && !contains(order, u) {
+				order = append(order, u)
+				prev = cur
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return order, isCycle
+}
+
+func contains(list []int, v int) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pathCycleDP is the classic weighted independent set DP on a path; for
+// cycles it takes the better of "exclude first" and "include first,
+// exclude its two neighbors".
+func (s *misSearch) pathCycleDP(order []int, isCycle bool) (int64, []int) {
+	if len(order) == 0 {
+		return 0, nil
+	}
+	pathDP := func(vs []int) (int64, []int) {
+		if len(vs) == 0 {
+			return 0, nil
+		}
+		// take[i]: best for the length-i prefix with vs[i-1] selected;
+		// skip[i]: best with vs[i-1] not selected.
+		take := make([]int64, len(vs)+1)
+		skip := make([]int64, len(vs)+1)
+		for i, v := range vs {
+			take[i+1] = skip[i] + s.weights[v]
+			skip[i+1] = max64(take[i], skip[i])
+		}
+		// Reconstruct by walking each state's provenance: take[i] selects
+		// vs[i-1] and came from skip[i-1]; skip[i] came from the larger of
+		// take[i-1] and skip[i-1].
+		var set []int
+		i := len(vs)
+		taking := take[i] > skip[i]
+		for i > 0 {
+			if taking {
+				set = append(set, vs[i-1])
+				i--
+				taking = false
+			} else {
+				i--
+				taking = take[i] > skip[i]
+			}
+		}
+		return max64(take[len(vs)], skip[len(vs)]), set
+	}
+	if !isCycle || len(order) <= 2 {
+		if isCycle && len(order) == 2 {
+			// Two mutually adjacent vertices: pick the heavier.
+			if s.weights[order[0]] >= s.weights[order[1]] {
+				return s.weights[order[0]], []int{order[0]}
+			}
+			return s.weights[order[1]], []int{order[1]}
+		}
+		return pathDP(order)
+	}
+	// Cycle: either order[0] is excluded, or it is included and both its
+	// cycle neighbors (order[1] and order[last]) are excluded.
+	excW, excSet := pathDP(order[1:])
+	incW, incSet := pathDP(order[2 : len(order)-1])
+	incW += s.weights[order[0]]
+	if incW > excW {
+		return incW, append(append([]int(nil), incSet...), order[0])
+	}
+	return excW, excSet
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxIndependentSetSize returns α(G), the cardinality of a maximum
+// independent set (unit weights regardless of g's vertex weights).
+func MaxIndependentSetSize(g *graph.Graph) (int, []int, error) {
+	unit := g.Clone()
+	for v := 0; v < unit.N(); v++ {
+		if err := unit.SetVertexWeight(v, 1); err != nil {
+			return 0, nil, err
+		}
+	}
+	w, set, err := MaxWeightIndependentSet(unit)
+	return int(w), set, err
+}
+
+// MinVertexCoverSize returns τ(G) = n - α(G) together with a minimum vertex
+// cover (the complement of a maximum independent set).
+func MinVertexCoverSize(g *graph.Graph) (int, []int, error) {
+	alpha, isSet, err := MaxIndependentSetSize(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	inIS := make([]bool, g.N())
+	for _, v := range isSet {
+		inIS[v] = true
+	}
+	cover := make([]int, 0, g.N()-alpha)
+	for v := 0; v < g.N(); v++ {
+		if !inIS[v] {
+			cover = append(cover, v)
+		}
+	}
+	return g.N() - alpha, cover, nil
+}
+
+// IsIndependentSet reports whether set is independent in g.
+func IsIndependentSet(g *graph.Graph, set []int) bool {
+	for i, u := range set {
+		if u < 0 || u >= g.N() {
+			return false
+		}
+		for _, v := range set[i+1:] {
+			if g.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsVertexCover reports whether set covers every edge of g.
+func IsVertexCover(g *graph.Graph, set []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || v >= g.N() {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"congesthard/internal/graph"
+)
+
+func TestMaxISKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		want  int
+	}{
+		{name: "empty5", build: func() *graph.Graph { return graph.New(5) }, want: 5},
+		{name: "K4", build: func() *graph.Graph { return graph.Complete(4) }, want: 1},
+		{name: "path5", build: func() *graph.Graph { return graph.Path(5) }, want: 3},
+		{name: "cycle5", build: func() *graph.Graph { c, _ := graph.Cycle(5); return c }, want: 2},
+		{name: "star7", build: func() *graph.Graph { return graph.Star(7) }, want: 6},
+		{name: "K3,3", build: func() *graph.Graph { return graph.CompleteBipartite(3, 3) }, want: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			size, set, err := MaxIndependentSetSize(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != tc.want {
+				t.Errorf("alpha = %d, want %d", size, tc.want)
+			}
+			if !IsIndependentSet(g, set) {
+				t.Error("returned set not independent")
+			}
+			if len(set) != size {
+				t.Error("set size disagrees with value")
+			}
+		})
+	}
+}
+
+func TestMaxWeightISAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.Gnp(12, 0.3, rng)
+		for v := 0; v < g.N(); v++ {
+			if err := g.SetVertexWeight(v, 1+rng.Int63n(9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := BruteMaxWeightIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, set, err := MaxWeightIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: MaxWeightIS = %d, brute = %d", trial, got, want)
+		}
+		if !IsIndependentSet(g, set) {
+			t.Fatalf("trial %d: set not independent", trial)
+		}
+		var sum int64
+		for _, v := range set {
+			sum += g.VertexWeight(v)
+		}
+		if sum != got {
+			t.Fatalf("trial %d: set weight %d != reported %d", trial, sum, got)
+		}
+	}
+}
+
+func TestNegativeWeightRejected(t *testing.T) {
+	g := graph.New(2)
+	if err := g.SetVertexWeight(0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MaxWeightIndependentSet(g); err == nil {
+		t.Error("negative vertex weight accepted")
+	}
+}
+
+func TestMinVertexCover(t *testing.T) {
+	g := graph.CompleteBipartite(2, 5)
+	size, cover, err := MinVertexCoverSize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Errorf("tau(K2,5) = %d, want 2", size)
+	}
+	if !IsVertexCover(g, cover) {
+		t.Error("returned cover leaves an edge uncovered")
+	}
+}
+
+// Gallai identity: alpha(G) + tau(G) = n for every graph.
+func TestQuickGallaiIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Gnp(10, 0.4, rng)
+		alpha, _, err := MaxIndependentSetSize(g)
+		if err != nil {
+			return false
+		}
+		tau, _, err := MinVertexCoverSize(g)
+		if err != nil {
+			return false
+		}
+		return alpha+tau == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Koenig consistency on bipartite graphs: tau >= maximum matching always,
+// and equality holds for bipartite instances.
+func TestQuickKoenigOnBipartite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random bipartite graph 5+5.
+		g := graph.New(10)
+		for u := 0; u < 5; u++ {
+			for v := 5; v < 10; v++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+		tau, _, err := MinVertexCoverSize(g)
+		if err != nil {
+			return false
+		}
+		nu, _, err := MaxMatching(g)
+		if err != nil {
+			return false
+		}
+		return tau == nu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsIndependentSetValidation(t *testing.T) {
+	g := graph.Path(3)
+	if !IsIndependentSet(g, []int{0, 2}) {
+		t.Error("{0,2} independent in P3")
+	}
+	if IsIndependentSet(g, []int{0, 1}) {
+		t.Error("{0,1} not independent in P3")
+	}
+	if IsIndependentSet(g, []int{-1}) {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestIsVertexCoverValidation(t *testing.T) {
+	g := graph.Path(3)
+	if !IsVertexCover(g, []int{1}) {
+		t.Error("{1} covers P3")
+	}
+	if IsVertexCover(g, []int{0}) {
+		t.Error("{0} does not cover edge {1,2}")
+	}
+	if IsVertexCover(g, []int{9}) {
+		t.Error("out-of-range accepted")
+	}
+}

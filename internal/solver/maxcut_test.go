@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/graph"
+)
+
+func TestMaxCutKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		want  int64
+	}{
+		{name: "single edge", build: func() *graph.Graph { return graph.Path(2) }, want: 1},
+		{name: "path4", build: func() *graph.Graph { return graph.Path(4) }, want: 3},
+		{name: "cycle4", build: func() *graph.Graph { c, _ := graph.Cycle(4); return c }, want: 4},
+		{name: "cycle5 odd", build: func() *graph.Graph { c, _ := graph.Cycle(5); return c }, want: 4},
+		{name: "K4", build: func() *graph.Graph { return graph.Complete(4) }, want: 4},
+		{name: "K3,3 bipartite", build: func() *graph.Graph { return graph.CompleteBipartite(3, 3) }, want: 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			got, side, err := MaxCut(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("max cut = %d, want %d", got, tc.want)
+			}
+			if w := g.CutWeight(side); w != got {
+				t.Errorf("returned side realizes %d, reported %d", w, got)
+			}
+		})
+	}
+}
+
+func TestMaxCutAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		g := graph.GnpWeighted(12, 0.4, 10, rng)
+		want, err := BruteMaxCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := MaxCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: MaxCut = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestMaxCutEdgeCases(t *testing.T) {
+	got, _, err := MaxCut(graph.New(0))
+	if err != nil || got != 0 {
+		t.Errorf("empty graph: %d, %v", got, err)
+	}
+	got, _, err = MaxCut(graph.New(1))
+	if err != nil || got != 0 {
+		t.Errorf("single vertex: %d, %v", got, err)
+	}
+	if _, _, err := MaxCut(graph.New(40)); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestHasCutOfWeight(t *testing.T) {
+	g := graph.CompleteBipartite(2, 3)
+	ok, err := HasCutOfWeight(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("bipartite cut of weight 6 exists")
+	}
+	ok, err = HasCutOfWeight(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cut of weight 7 claimed with only 6 edges")
+	}
+}

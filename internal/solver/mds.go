@@ -1,0 +1,249 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"congesthard/internal/graph"
+)
+
+// MinDominatingSet computes a minimum-weight dominating set of g exactly
+// (vertex weights; use unit weights for the cardinality version). It uses
+// branch and bound on the lowest-indexed undominated vertex and is
+// practical up to roughly 60 vertices on structured instances.
+func MinDominatingSet(g *graph.Graph) (int64, []int, error) {
+	weight, set, _, err := minDominatingSetCapped(g, math.MaxInt64/2)
+	if err != nil {
+		return 0, nil, err
+	}
+	if set == nil {
+		return 0, nil, fmt.Errorf("internal: no dominating set found in %d-vertex graph", g.N())
+	}
+	return weight, set, nil
+}
+
+// MinDominatingSetWithin computes the minimum-weight dominating set of
+// weight at most cap if one exists. found reports whether any dominating
+// set within the cap was found; the search prunes aggressively above cap,
+// which makes NO answers much cheaper than a full minimization.
+func MinDominatingSetWithin(g *graph.Graph, cap int64) (weight int64, set []int, found bool, err error) {
+	return minDominatingSetCapped(g, cap)
+}
+
+// HasDominatingSetOfSize reports whether g has a dominating set of
+// cardinality at most size (the decision predicate of Theorem 2.1).
+func HasDominatingSetOfSize(g *graph.Graph, size int) (bool, error) {
+	unit := g.Clone()
+	for v := 0; v < unit.N(); v++ {
+		if err := unit.SetVertexWeight(v, 1); err != nil {
+			return false, err
+		}
+	}
+	_, _, found, err := minDominatingSetCapped(unit, int64(size))
+	if err != nil {
+		return false, err
+	}
+	return found, nil
+}
+
+// MinDominatingSetOfTargets computes a minimum-weight set of vertices
+// (drawn from the whole graph) that dominates every vertex in targets —
+// the sub-problem the Section 5.1 limitation protocols solve per side
+// ("cover optimally all the vertices in V_A, possibly using cut
+// vertices").
+func MinDominatingSetOfTargets(g *graph.Graph, targets []int) (int64, []int, error) {
+	n := g.N()
+	if n > 512 {
+		return 0, nil, fmt.Errorf("exact MDS limited to 512 vertices, got %d", n)
+	}
+	if len(targets) == 0 {
+		return 0, []int{}, nil
+	}
+	// Reduce to plain MDS by marking non-targets as already dominated:
+	// run the capped search with an initial dominated set.
+	needed := newBitset(n)
+	for _, v := range targets {
+		if v < 0 || v >= n {
+			return 0, nil, fmt.Errorf("target %d out of range", v)
+		}
+		needed.set(v)
+	}
+	dominatedInit := newBitset(n)
+	for v := 0; v < n; v++ {
+		if !needed.get(v) {
+			dominatedInit.set(v)
+		}
+	}
+	weight, set, found, err := minDominatingSetFrom(g, dominatedInit, math.MaxInt64/2)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !found {
+		return 0, nil, fmt.Errorf("internal: no covering set found")
+	}
+	return weight, set, nil
+}
+
+// MinKDominatingSet computes a minimum-weight set S such that every vertex
+// is within hop distance k of S (the k-MDS problem of Section 4.3),
+// implemented as MDS on the k-th power graph.
+func MinKDominatingSet(g *graph.Graph, k int) (int64, []int, error) {
+	if k < 1 {
+		return 0, nil, fmt.Errorf("k must be >= 1, got %d", k)
+	}
+	return MinDominatingSet(g.Power(k))
+}
+
+// minDominatingSetCapped finds a minimum-weight dominating set of weight at
+// most cap. It returns found = false if every dominating set exceeds cap.
+func minDominatingSetCapped(g *graph.Graph, cap int64) (int64, []int, bool, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, []int{}, true, nil
+	}
+	if n > 512 {
+		return 0, nil, false, fmt.Errorf("exact MDS limited to 512 vertices, got %d", n)
+	}
+	return minDominatingSetFrom(g, newBitset(n), cap)
+}
+
+// minDominatingSetFrom is minDominatingSetCapped starting from a set of
+// vertices already considered dominated.
+func minDominatingSetFrom(g *graph.Graph, dominatedInit bitset, cap int64) (int64, []int, bool, error) {
+	n := g.N()
+	// closed[v] = N[v] as a bitset.
+	closed := make([]bitset, n)
+	for v := 0; v < n; v++ {
+		closed[v] = newBitset(n)
+		closed[v].set(v)
+		for _, h := range g.Neighbors(v) {
+			closed[v].set(h.To)
+		}
+	}
+	// Greedy bound ingredients: the bound is only valid when every vertex
+	// weight is at least minWeight >= 1; with zero-weight vertices we fall
+	// back to pruning on the accumulated weight alone.
+	useGreedyBound := true
+	var minWeight int64 = math.MaxInt64
+	for v := 0; v < n; v++ {
+		w := g.VertexWeight(v)
+		if w < 1 {
+			useGreedyBound = false
+		}
+		if w < minWeight {
+			minWeight = w
+		}
+	}
+	maxCover := g.MaxDegree() + 1
+
+	best := cap + 1
+	var bestSet []int
+	current := make([]int, 0, n)
+
+	var recurse func(dominated bitset, weight int64)
+	recurse = func(dominated bitset, weight int64) {
+		undominated := n - dominated.count()
+		if undominated == 0 {
+			if weight < best {
+				best = weight
+				bestSet = append([]int(nil), current...)
+			}
+			return
+		}
+		// Greedy lower bound: every added vertex dominates at most maxCover
+		// new vertices and costs at least minWeight.
+		if useGreedyBound {
+			lb := int64((undominated+maxCover-1)/maxCover) * minWeight
+			if weight+lb >= best {
+				return
+			}
+		}
+		if weight >= best {
+			return
+		}
+		v := dominated.firstClear(n)
+		// v must be dominated by some vertex in N[v]; branch over choices,
+		// heaviest domination gain first.
+		candidates := make([]int, 0, len(g.Neighbors(v))+1)
+		candidates = append(candidates, v)
+		for _, h := range g.Neighbors(v) {
+			candidates = append(candidates, h.To)
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return len(g.Neighbors(candidates[i])) > len(g.Neighbors(candidates[j]))
+		})
+		for _, c := range candidates {
+			next := dominated.clone()
+			next.orInto(closed[c])
+			current = append(current, c)
+			recurse(next, weight+g.VertexWeight(c))
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(dominatedInit.clone(), 0)
+	if bestSet == nil {
+		return 0, nil, false, nil
+	}
+	sort.Ints(bestSet)
+	return best, bestSet, true, nil
+}
+
+// IsDominatingSet reports whether set dominates every vertex of g.
+func IsDominatingSet(g *graph.Graph, set []int) bool {
+	n := g.N()
+	dominated := newBitset(n)
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return false
+		}
+		dominated.set(v)
+		for _, h := range g.Neighbors(v) {
+			dominated.set(h.To)
+		}
+	}
+	return dominated.count() == n
+}
+
+// IsKDominatingSet reports whether every vertex of g is within hop
+// distance k of the set.
+func IsKDominatingSet(g *graph.Graph, set []int, k int) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	const unreached = -1
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	queue := make([]int, 0, n)
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return false
+		}
+		if dist[v] == unreached {
+			dist[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] >= k {
+			continue
+		}
+		for _, h := range g.Neighbors(v) {
+			if dist[h.To] == unreached {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for _, d := range dist {
+		if d == unreached {
+			return false
+		}
+	}
+	return true
+}

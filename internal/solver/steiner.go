@@ -1,0 +1,471 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"congesthard/internal/graph"
+)
+
+// SteinerTree computes the minimum total edge weight of a tree spanning
+// the given terminals, using the Dreyfus-Wagner dynamic program
+// (O(3^t * n + 2^t * n^2)). Practical to about 14 terminals.
+func SteinerTree(g *graph.Graph, terminals []int) (int64, error) {
+	t := len(terminals)
+	n := g.N()
+	if t == 0 {
+		return 0, nil
+	}
+	if t > 14 {
+		return 0, fmt.Errorf("dreyfus-wagner limited to 14 terminals, got %d", t)
+	}
+	for _, v := range terminals {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("terminal %d out of range", v)
+		}
+	}
+	const inf = int64(math.MaxInt64 / 4)
+	// All-pairs shortest paths by n Dijkstra runs.
+	dist := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		dv := g.Dijkstra(v)
+		dist[v] = make([]int64, n)
+		for u := range dv {
+			if dv[u] < 0 {
+				dist[v][u] = inf
+			} else {
+				dist[v][u] = dv[u]
+			}
+		}
+	}
+	// dp[S][v] = min weight of a tree spanning terminal subset S plus
+	// vertex v.
+	size := 1 << uint(t)
+	dp := make([][]int64, size)
+	for s := range dp {
+		dp[s] = make([]int64, n)
+		for v := range dp[s] {
+			dp[s][v] = inf
+		}
+	}
+	for i, term := range terminals {
+		for v := 0; v < n; v++ {
+			dp[1<<uint(i)][v] = dist[term][v]
+		}
+	}
+	for s := 1; s < size; s++ {
+		if s&(s-1) == 0 {
+			continue // singletons already seeded
+		}
+		// Merge step: split S into two non-empty parts at a common vertex.
+		for v := 0; v < n; v++ {
+			for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+				if sub < s-sub {
+					break // each split considered once
+				}
+				if a, b := dp[sub][v], dp[s^sub][v]; a < inf && b < inf && a+b < dp[s][v] {
+					dp[s][v] = a + b
+				}
+			}
+		}
+		// Grow step: Bellman-Ford style relaxation through shortest paths.
+		for v := 0; v < n; v++ {
+			for u := 0; u < n; u++ {
+				if dp[s][u] < inf && dist[u][v] < inf {
+					if cand := dp[s][u] + dist[u][v]; cand < dp[s][v] {
+						dp[s][v] = cand
+					}
+				}
+			}
+		}
+	}
+	best := inf
+	for v := 0; v < n; v++ {
+		if dp[size-1][v] < best {
+			best = dp[size-1][v]
+		}
+	}
+	if best >= inf {
+		return 0, fmt.Errorf("terminals not connected")
+	}
+	return best, nil
+}
+
+// HasSteinerTreeWithEdges reports whether g has a Steiner tree spanning all
+// terminals with at most maxEdges edges. It enumerates candidate Steiner
+// vertex sets: a tree with e edges has e+1 vertices, so at most
+// maxEdges+1-|terminals| non-terminals participate; for each subset of that
+// size the induced subgraph is checked for connectivity over the terminals.
+// Exact, with work bounded by C(#non-terminals, budget); it rejects
+// parameter combinations above ~10^7 subsets.
+func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (bool, error) {
+	n := g.N()
+	isTerminal := make([]bool, n)
+	for _, v := range terminals {
+		if v < 0 || v >= n {
+			return false, fmt.Errorf("terminal %d out of range", v)
+		}
+		isTerminal[v] = true
+	}
+	budget := maxEdges + 1 - len(terminals)
+	if budget < 0 {
+		return false, nil
+	}
+	var others []int
+	for v := 0; v < n; v++ {
+		if !isTerminal[v] {
+			others = append(others, v)
+		}
+	}
+	if budget > len(others) {
+		budget = len(others)
+	}
+	if c := binomialSum(len(others), budget); c > 1e7 {
+		return false, fmt.Errorf("steiner decision too large: ~%.0f subsets", c)
+	}
+	allowed := make([]bool, n)
+	var chosen []int
+	var try func(startIdx, remaining int) bool
+	try = func(startIdx, remaining int) bool {
+		for v := 0; v < n; v++ {
+			allowed[v] = isTerminal[v]
+		}
+		for _, v := range chosen {
+			allowed[v] = true
+		}
+		if len(terminals) == 0 || terminalsConnected(g, terminals, allowed) {
+			return true
+		}
+		if remaining == 0 {
+			return false
+		}
+		for i := startIdx; i < len(others); i++ {
+			chosen = append(chosen, others[i])
+			if try(i+1, remaining-1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	return try(0, budget), nil
+}
+
+func binomialSum(n, k int) float64 {
+	total := 0.0
+	term := 1.0
+	for i := 0; i <= k && i <= n; i++ {
+		total += term
+		term = term * float64(n-i) / float64(i+1)
+	}
+	return total
+}
+
+// IsSteinerTree validates a claimed Steiner tree given as an edge list: the
+// edges must exist in g, form a tree (connected, acyclic over the touched
+// vertices), and span all terminals. Returns the tree's total edge weight.
+func IsSteinerTree(g *graph.Graph, terminals []int, edges []graph.Edge) (int64, bool) {
+	if len(edges) == 0 {
+		return 0, len(terminals) <= 1
+	}
+	touched := map[int]bool{}
+	var weight int64
+	uf := newUnionFind(g.N())
+	for _, e := range edges {
+		w, ok := g.EdgeWeight(e.U, e.V)
+		if !ok {
+			return 0, false
+		}
+		if !uf.union(e.U, e.V) {
+			return 0, false // cycle
+		}
+		weight += w
+		touched[e.U] = true
+		touched[e.V] = true
+	}
+	if len(terminals) > 0 {
+		root := uf.find(terminals[0])
+		for _, term := range terminals {
+			if !touched[term] && len(edges) > 0 {
+				// A terminal not touched by any edge can only be fine if it
+				// is the unique terminal; with edges present it must appear.
+				return 0, false
+			}
+			if uf.find(term) != root {
+				return 0, false
+			}
+		}
+	}
+	// Tree check: edges == touched vertices - 1 and connected over touched.
+	if len(edges) != len(touched)-1 {
+		return 0, false
+	}
+	return weight, true
+}
+
+// NodeWeightedSteinerEnum computes the minimum vertex-weight of a connected
+// subgraph spanning all terminals, where the cost is the sum of weights of
+// the subgraph's vertices. It enumerates subsets of the positive-weight
+// vertices (zero-weight vertices are free), so it requires at most
+// maxPositive positive-weight vertices (default limit 22). This covers the
+// Section 4.4 node-weighted Steiner instances, whose only positively
+// weighted vertices are the set vertices S_i, ~S_i.
+func NodeWeightedSteinerEnum(g *graph.Graph, terminals []int) (int64, error) {
+	n := g.N()
+	var positive []int
+	for v := 0; v < n; v++ {
+		if g.VertexWeight(v) > 0 {
+			positive = append(positive, v)
+		}
+	}
+	if len(positive) > 22 {
+		return 0, fmt.Errorf("node-weighted steiner enumeration limited to 22 positive-weight vertices, got %d", len(positive))
+	}
+	if len(terminals) == 0 {
+		return 0, nil
+	}
+	const inf = int64(math.MaxInt64 / 4)
+	best := inf
+	subsets := 1 << uint(len(positive))
+	allowed := make([]bool, n)
+	for mask := 0; mask < subsets; mask++ {
+		var weight int64
+		for v := 0; v < n; v++ {
+			allowed[v] = g.VertexWeight(v) == 0
+		}
+		for i, v := range positive {
+			if mask>>uint(i)&1 == 1 {
+				allowed[v] = true
+				weight += g.VertexWeight(v)
+			}
+		}
+		// Terminals are always usable; they pay their own weight if positive
+		// (in the paper's instances terminals have weight 0).
+		for _, term := range terminals {
+			if !allowed[term] {
+				weight += g.VertexWeight(term)
+				allowed[term] = true
+			}
+		}
+		if weight >= best {
+			continue
+		}
+		if terminalsConnected(g, terminals, allowed) {
+			best = weight
+		}
+	}
+	if best >= inf {
+		return 0, fmt.Errorf("terminals not connectable")
+	}
+	return best, nil
+}
+
+// HasNodeSteinerWithin decides whether the terminals can be connected by a
+// subgraph whose positive-weight vertices total at most budget (terminals
+// and zero-weight vertices are free when their weight is zero; positive
+// terminals count). It enumerates light subsets of the positive vertices
+// with weight pruning, so a small budget is cheap even when the number of
+// positive vertices is large.
+func HasNodeSteinerWithin(g *graph.Graph, terminals []int, budget int64) (bool, error) {
+	if len(terminals) == 0 {
+		return true, nil
+	}
+	n := g.N()
+	var positive []int
+	var mandatory int64
+	isTerminal := make([]bool, n)
+	for _, v := range terminals {
+		if v < 0 || v >= n {
+			return false, fmt.Errorf("terminal %d out of range", v)
+		}
+		isTerminal[v] = true
+		mandatory += g.VertexWeight(v)
+	}
+	if mandatory > budget {
+		return false, nil
+	}
+	for v := 0; v < n; v++ {
+		if g.VertexWeight(v) > 0 && !isTerminal[v] {
+			positive = append(positive, v)
+		}
+	}
+	allowed := make([]bool, n)
+	var try func(idx int, remaining int64) bool
+	try = func(idx int, remaining int64) bool {
+		if terminalsConnected(g, terminals, allowed) {
+			return true
+		}
+		for i := idx; i < len(positive); i++ {
+			v := positive[i]
+			w := g.VertexWeight(v)
+			if w > remaining {
+				continue
+			}
+			allowed[v] = true
+			if try(i+1, remaining-w) {
+				return true
+			}
+			allowed[v] = false
+		}
+		return false
+	}
+	for v := 0; v < n; v++ {
+		allowed[v] = isTerminal[v] || g.VertexWeight(v) == 0
+	}
+	return try(0, budget-mandatory), nil
+}
+
+// HasDirectedSteinerWithin decides whether all terminals are reachable
+// from root through a subgraph whose positive-weight arcs total at most
+// budget (zero-weight arcs are free). Light subsets of the positive arcs
+// are enumerated with weight pruning.
+func HasDirectedSteinerWithin(d *graph.Digraph, root int, terminals []int, budget int64) (bool, error) {
+	if root < 0 || root >= d.N() {
+		return false, fmt.Errorf("root %d out of range", root)
+	}
+	var positive []graph.Arc
+	for _, a := range d.Arcs() {
+		if a.Weight > 0 {
+			positive = append(positive, a)
+		}
+	}
+	enabled := make(map[[2]int]bool)
+	var try func(idx int, remaining int64) bool
+	try = func(idx int, remaining int64) bool {
+		if allTerminalsReachable(d, root, terminals, enabled) {
+			return true
+		}
+		for i := idx; i < len(positive); i++ {
+			a := positive[i]
+			if a.Weight > remaining {
+				continue
+			}
+			key := [2]int{a.From, a.To}
+			enabled[key] = true
+			if try(i+1, remaining-a.Weight) {
+				return true
+			}
+			delete(enabled, key)
+		}
+		return false
+	}
+	return try(0, budget), nil
+}
+
+func terminalsConnected(g *graph.Graph, terminals []int, allowed []bool) bool {
+	seen := make([]bool, g.N())
+	queue := []int{terminals[0]}
+	seen[terminals[0]] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			if allowed[h.To] && !seen[h.To] {
+				seen[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for _, term := range terminals {
+		if !seen[term] {
+			return false
+		}
+	}
+	return true
+}
+
+// DirectedSteinerEnum computes the minimum total arc weight of a subgraph
+// in which every terminal is reachable from root, enumerating subsets of
+// the positive-weight arcs (zero-weight arcs are free; limit 22 positive
+// arcs). This covers the Section 4.4 directed Steiner instances.
+func DirectedSteinerEnum(d *graph.Digraph, root int, terminals []int) (int64, error) {
+	var positive []graph.Arc
+	for _, a := range d.Arcs() {
+		if a.Weight > 0 {
+			positive = append(positive, a)
+		}
+	}
+	if len(positive) > 22 {
+		return 0, fmt.Errorf("directed steiner enumeration limited to 22 positive-weight arcs, got %d", len(positive))
+	}
+	const inf = int64(math.MaxInt64 / 4)
+	best := inf
+	subsets := 1 << uint(len(positive))
+	enabled := make(map[[2]int]bool, len(positive))
+	for mask := 0; mask < subsets; mask++ {
+		var weight int64
+		for k := range enabled {
+			delete(enabled, k)
+		}
+		for i, a := range positive {
+			if mask>>uint(i)&1 == 1 {
+				enabled[[2]int{a.From, a.To}] = true
+				weight += a.Weight
+			}
+		}
+		if weight >= best {
+			continue
+		}
+		if allTerminalsReachable(d, root, terminals, enabled) {
+			best = weight
+		}
+	}
+	if best >= inf {
+		return 0, fmt.Errorf("terminals not reachable from root")
+	}
+	return best, nil
+}
+
+func allTerminalsReachable(d *graph.Digraph, root int, terminals []int, enabledPositive map[[2]int]bool) bool {
+	seen := make([]bool, d.N())
+	queue := []int{root}
+	seen[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range d.OutNeighbors(v) {
+			usable := h.Weight == 0 || enabledPositive[[2]int{v, h.To}]
+			if usable && !seen[h.To] {
+				seen[h.To] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	for _, term := range terminals {
+		if !seen[term] {
+			return false
+		}
+	}
+	return true
+}
+
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(v int) int {
+	for uf.parent[v] != v {
+		uf.parent[v] = uf.parent[uf.parent[v]]
+		v = uf.parent[v]
+	}
+	return v
+}
+
+// union merges the sets of a and b; it returns false if they were already
+// in the same set.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	uf.parent[ra] = rb
+	return true
+}

@@ -1,0 +1,353 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/graph"
+)
+
+func TestSteinerTreeKnown(t *testing.T) {
+	// Star: terminals are three leaves; the tree must pass the center.
+	g := graph.Star(5)
+	w, err := SteinerTree(g, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Errorf("steiner on star = %d, want 3", w)
+	}
+	// Weighted: direct heavy edge vs light two-hop detour.
+	h := graph.New(3)
+	h.MustAddWeightedEdge(0, 1, 10)
+	h.MustAddWeightedEdge(0, 2, 1)
+	h.MustAddWeightedEdge(2, 1, 1)
+	w, err = SteinerTree(h, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("steiner detour = %d, want 2", w)
+	}
+}
+
+func TestSteinerTreeAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.GnpWeighted(10, 0.4, 8, rng)
+		if !g.IsConnected() {
+			continue
+		}
+		terminals := []int{0, 3, 7, 9}
+		want, err := BruteSteinerTree(g, terminals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SteinerTree(g, terminals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: DW = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestSteinerTreeErrors(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1) // 2,3 isolated
+	if _, err := SteinerTree(g, []int{0, 2}); err == nil {
+		t.Error("disconnected terminals accepted")
+	}
+	if _, err := SteinerTree(g, []int{99}); err == nil {
+		t.Error("out-of-range terminal accepted")
+	}
+	if w, err := SteinerTree(g, nil); err != nil || w != 0 {
+		t.Errorf("empty terminals: %d %v", w, err)
+	}
+}
+
+func TestIsSteinerTree(t *testing.T) {
+	g := graph.Star(5)
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}}
+	w, ok := IsSteinerTree(g, []int{1, 2}, edges)
+	if !ok || w != 2 {
+		t.Errorf("valid tree rejected: w=%d ok=%v", w, ok)
+	}
+	// Cycle rejected.
+	cyc, _ := graph.Cycle(3)
+	bad := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	if _, ok := IsSteinerTree(cyc, []int{0, 1}, bad); ok {
+		t.Error("cycle accepted as tree")
+	}
+	// Terminal not spanned.
+	if _, ok := IsSteinerTree(g, []int{1, 3}, edges); ok {
+		t.Error("unspanned terminal accepted")
+	}
+	// Edge not in graph.
+	if _, ok := IsSteinerTree(g, []int{1, 2}, []graph.Edge{{U: 1, V: 2}}); ok {
+		t.Error("phantom edge accepted")
+	}
+}
+
+func TestNodeWeightedSteinerEnum(t *testing.T) {
+	// Terminals 0 and 2 (weight 0) joined either directly via vertex 1
+	// (weight 5) or via vertices 3,4 (weight 1 each).
+	g := graph.New(5)
+	for v := 0; v < 5; v++ {
+		if err := g.SetVertexWeight(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.SetVertexWeight(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetVertexWeight(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetVertexWeight(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 2)
+	w, err := NodeWeightedSteinerEnum(g, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("node-weighted steiner = %d, want 2", w)
+	}
+}
+
+func TestDirectedSteinerEnum(t *testing.T) {
+	// root 0; terminal 3 reachable via expensive arc (0,3) w=5 or free
+	// path through 1 with one weight-1 arc.
+	d := graph.NewDigraph(4)
+	d.MustAddWeightedArc(0, 3, 5)
+	d.MustAddWeightedArc(0, 1, 1)
+	d.MustAddWeightedArc(1, 3, 0)
+	w, err := DirectedSteinerEnum(d, 0, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Errorf("directed steiner = %d, want 1", w)
+	}
+	if _, err := DirectedSteinerEnum(d, 3, []int{0}); err == nil {
+		t.Error("unreachable terminal accepted")
+	}
+}
+
+func TestMaxFlowKnown(t *testing.T) {
+	// Classic diamond: 0 -> {1,2} -> 3 with capacities.
+	d := graph.NewDigraph(4)
+	d.MustAddWeightedArc(0, 1, 3)
+	d.MustAddWeightedArc(0, 2, 2)
+	d.MustAddWeightedArc(1, 3, 2)
+	d.MustAddWeightedArc(2, 3, 3)
+	flow, err := MaxFlow(d, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 4 {
+		t.Errorf("max flow = %d, want 4", flow)
+	}
+}
+
+func TestMaxFlowWithAugmentingPath(t *testing.T) {
+	// Requires flow rerouting through the middle arc.
+	d := graph.NewDigraph(4)
+	d.MustAddWeightedArc(0, 1, 1)
+	d.MustAddWeightedArc(0, 2, 1)
+	d.MustAddWeightedArc(1, 2, 1)
+	d.MustAddWeightedArc(1, 3, 1)
+	d.MustAddWeightedArc(2, 3, 1)
+	flow, err := MaxFlow(d, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 {
+		t.Errorf("max flow = %d, want 2", flow)
+	}
+}
+
+func TestMaxFlowErrors(t *testing.T) {
+	d := graph.NewDigraph(2)
+	if _, err := MaxFlow(d, 0, 0); err == nil {
+		t.Error("s == t accepted")
+	}
+	if _, err := MaxFlow(d, 0, 5); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+	if _, err := MaxFlow(d, 0, 1); err != nil {
+		t.Error("disconnected flow should be 0, not error")
+	}
+}
+
+func TestMaxFlowUndirectedMatchesMengers(t *testing.T) {
+	// On an unweighted graph, s-t max flow = number of edge-disjoint
+	// paths. On a cycle that is 2.
+	cyc, _ := graph.Cycle(6)
+	flow, err := MaxFlowUndirected(cyc, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 {
+		t.Errorf("cycle flow = %d, want 2", flow)
+	}
+}
+
+func TestMaxMatchingKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		want  int
+	}{
+		{name: "path4", build: func() *graph.Graph { return graph.Path(4) }, want: 2},
+		{name: "path5", build: func() *graph.Graph { return graph.Path(5) }, want: 2},
+		{name: "K4", build: func() *graph.Graph { return graph.Complete(4) }, want: 2},
+		{name: "star", build: func() *graph.Graph { return graph.Star(6) }, want: 1},
+		{name: "C5", build: func() *graph.Graph { c, _ := graph.Cycle(5); return c }, want: 2},
+		{name: "K3,3", build: func() *graph.Graph { return graph.CompleteBipartite(3, 3) }, want: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build()
+			size, edges, err := MaxMatching(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != tc.want {
+				t.Errorf("nu = %d, want %d", size, tc.want)
+			}
+			if !IsMatching(g, edges) || len(edges) != size {
+				t.Errorf("matching invalid: %v", edges)
+			}
+		})
+	}
+}
+
+func TestMaxMatchingAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	trials := 0
+	for trials < 20 {
+		g := graph.Gnp(9, 0.3, rng)
+		if g.M() > 20 {
+			continue
+		}
+		trials++
+		want, err := BruteMaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := MaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("matching solver %d, brute %d", got, want)
+		}
+	}
+}
+
+func TestGreedyMaximalMatchingIsHalfApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.Gnp(12, 0.3, rng)
+		greedy := GreedyMaximalMatching(g)
+		if !IsMatching(g, greedy) {
+			t.Fatal("greedy output not a matching")
+		}
+		max, _, err := MaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 2*len(greedy) < max {
+			t.Fatalf("greedy %d below half of max %d", len(greedy), max)
+		}
+	}
+}
+
+func TestTutteBergeCertificate(t *testing.T) {
+	// Star K1,4: removing the center leaves 4 odd components, so
+	// deficiency(center) = 4 - 1 = 3 and matching = (5-3)/2 = 1.
+	g := graph.Star(5)
+	if d := TutteBergeDeficiency(g, []int{0}); d != 3 {
+		t.Errorf("deficiency = %d, want 3", d)
+	}
+	if !VerifyMatchingUpperBoundWitness(g, []int{0}, 1) {
+		t.Error("certificate for nu <= 1 rejected")
+	}
+	if VerifyMatchingUpperBoundWitness(g, []int{0}, 0) {
+		t.Error("certificate for nu <= 0 accepted (nu is 1)")
+	}
+}
+
+// Tutte-Berge formula consistency: for random graphs the maximum over
+// sampled U of the bound equals the true matching number at U = best.
+func TestTutteBergeNeverBelowMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.Gnp(8, 0.4, rng)
+		nu, _, err := MaxMatching(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// For every subset U, (n - deficiency(U))/2 >= nu.
+		for mask := 0; mask < 1<<8; mask++ {
+			u := maskToSet(mask, 8)
+			d := TutteBergeDeficiency(g, u)
+			if (g.N()-d)/2 < nu {
+				t.Fatalf("Tutte-Berge violated at U=%v: bound %d < nu %d", u, (g.N()-d)/2, nu)
+			}
+		}
+	}
+}
+
+func TestTwoECSS(t *testing.T) {
+	cyc, _ := graph.Cycle(5)
+	ok, err := HasTwoECSSWithEdges(cyc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("cycle is its own 2-ECSS with n edges")
+	}
+	ok, err = HasTwoECSSWithEdges(graph.Path(5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("path has no 2-ECSS")
+	}
+	// K4 has a 2-ECSS with 4 edges (a 4-cycle) and with 5.
+	k4 := graph.Complete(4)
+	ok, err = HasTwoECSSWithEdges(k4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("K4 should have a 5-edge 2-ECSS")
+	}
+}
+
+func TestTwoSpanner(t *testing.T) {
+	g := graph.Complete(4)
+	star := []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}
+	if !IsTwoSpanner(g, star) {
+		t.Error("star is a 2-spanner of K4")
+	}
+	if IsTwoSpanner(g, star[:2]) {
+		t.Error("partial star accepted as 2-spanner")
+	}
+	w, err := MinTwoSpannerWeight(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Errorf("min 2-spanner of K4 = %d, want 3 (a star)", w)
+	}
+}

@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"fmt"
+
+	"congesthard/internal/graph"
+)
+
+// HasTwoECSSWithEdges reports whether g contains a 2-edge-connected
+// spanning subgraph with at most m edges. Per Claim 2.7 of the paper, for
+// m = n this is equivalent to Hamiltonicity; the general case enumerates
+// edge subsets and is limited to 22 edges.
+func HasTwoECSSWithEdges(g *graph.Graph, m int) (bool, error) {
+	if m == g.N() {
+		_, found, err := HamiltonianCycle(g)
+		return found, err
+	}
+	return BruteTwoECSSWithEdges(g, m)
+}
+
+// BruteTwoECSSWithEdges is the enumeration-only version of
+// HasTwoECSSWithEdges (no Hamiltonicity shortcut at m = n). It exists so
+// tests can validate Claim 2.7's equivalence independently.
+func BruteTwoECSSWithEdges(g *graph.Graph, m int) (bool, error) {
+	n := g.N()
+	edges := g.Edges()
+	if len(edges) > 22 {
+		return false, fmt.Errorf("2-ECSS enumeration limited to 22 edges, got %d", len(edges))
+	}
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		chosen := popcount(mask)
+		if chosen > m || chosen < n {
+			continue
+		}
+		sub := graph.New(n)
+		for i, e := range edges {
+			if mask>>uint(i)&1 == 1 {
+				sub.MustAddWeightedEdge(e.U, e.V, e.Weight)
+			}
+		}
+		if sub.Is2EdgeConnected() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}
+
+// IsTwoSpanner reports whether sub (given as an edge list within g) is a
+// 2-spanner of g: every edge {u,v} of g has a path of length at most 2 in
+// the subgraph.
+func IsTwoSpanner(g *graph.Graph, subEdges []graph.Edge) bool {
+	sub := graph.New(g.N())
+	for _, e := range subEdges {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		if !sub.HasEdge(e.U, e.V) {
+			sub.MustAddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range g.Edges() {
+		if sub.HasEdge(e.U, e.V) {
+			continue
+		}
+		ok := false
+		for _, h := range sub.Neighbors(e.U) {
+			if sub.HasEdge(h.To, e.V) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MinTwoSpannerWeight computes the minimum total weight of a 2-spanner by
+// enumerating edge subsets (limit 20 edges), as ground truth for the
+// Section 3.3 reduction tests.
+func MinTwoSpannerWeight(g *graph.Graph) (int64, error) {
+	edges := g.Edges()
+	if len(edges) > 20 {
+		return 0, fmt.Errorf("2-spanner enumeration limited to 20 edges, got %d", len(edges))
+	}
+	best := int64(-1)
+	for mask := 0; mask < 1<<uint(len(edges)); mask++ {
+		var weight int64
+		sub := make([]graph.Edge, 0, len(edges))
+		for i, e := range edges {
+			if mask>>uint(i)&1 == 1 {
+				sub = append(sub, e)
+				weight += e.Weight
+			}
+		}
+		if best >= 0 && weight >= best {
+			continue
+		}
+		if IsTwoSpanner(g, sub) {
+			best = weight
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no 2-spanner found (unreachable: g spans itself)")
+	}
+	return best, nil
+}
