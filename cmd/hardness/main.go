@@ -1,6 +1,6 @@
 // Command hardness is the experiment runner: it regenerates the
-// quantitative content of the paper's theorems (see DESIGN.md's experiment
-// index and EXPERIMENTS.md for the paper-vs-measured record).
+// quantitative content of the paper's theorems (see README.md's experiment
+// index).
 //
 // Usage:
 //

@@ -1,0 +1,3 @@
+module congesthard
+
+go 1.24

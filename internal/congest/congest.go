@@ -8,11 +8,17 @@
 // when a vertex bipartition is supplied — the messages and bits crossing
 // the cut, which is exactly the quantity that the Alice-Bob framework of
 // Theorem 1.1 charges for.
+//
+// The core is allocation-free in steady state: Run precomputes a routing
+// index from the graph's CSR snapshot (per-directed-edge slots for O(1)
+// message validation, duplicate detection and delivery) and double-buffers
+// flat, CSR-offset inbox arrays, so after setup no heap allocation happens
+// per round. Inboxes are delivered in neighbor-rank order (ascending
+// sender id) by construction — no sorting.
 package congest
 
 import (
 	"fmt"
-	"sort"
 
 	"congesthard/internal/graph"
 )
@@ -30,8 +36,9 @@ type Incoming struct {
 }
 
 // Local is the information a node knows at wakeup: its id, the network
-// size, its incident edges (neighbor ids and edge weights, index-aligned),
-// its own vertex weight, and optional problem-specific input.
+// size, its incident edges (neighbor ids and edge weights, index-aligned,
+// sorted by neighbor id), its own vertex weight, and optional
+// problem-specific input.
 type Local struct {
 	ID           int
 	N            int
@@ -46,6 +53,9 @@ type Local struct {
 // empty inbox); it returns the messages to send and whether the node has
 // terminated. A terminated node's Round is no longer called and it sends
 // nothing further.
+//
+// The inbox slice is only valid for the duration of the Round call: the
+// simulator reuses its backing storage across rounds.
 type Node interface {
 	Round(round int, inbox []Incoming) (outbox []Message, done bool)
 	// Output returns the node's final (or current) output value.
@@ -60,7 +70,8 @@ type Options struct {
 	// BandwidthBits is the per-message bit budget B. 0 selects
 	// 2*ceil(log2(n+1)), the standard O(log n) CONGEST bandwidth.
 	BandwidthBits int
-	// MaxRounds aborts runaway programs. 0 selects 4*n^2 + 64.
+	// MaxRounds aborts runaway programs: at most MaxRounds rounds are
+	// executed. 0 selects 4*n^2 + 64.
 	MaxRounds int
 	// CutSide, if non-nil, marks Alice's side of a bipartition; messages
 	// crossing the cut are metered (Theorem 1.1 accounting).
@@ -92,6 +103,60 @@ func DefaultBandwidth(n int) int {
 	return 2 * b
 }
 
+// maxDenseEdgeIndex caps the n*n dense routing table at 4 MB; larger
+// networks fall back to a prebuilt hash map (still O(1) expected, still
+// allocation-free per round).
+const maxDenseEdgeIndex = 1 << 10
+
+// edgeIndex resolves (from, to) to the global directed-edge slot in O(1),
+// or -1 when the edge does not exist. It is built once per Run.
+type edgeIndex struct {
+	n      int
+	dense  []int32         // n*n table, or nil
+	sparse map[int64]int32 // used when n > maxDenseEdgeIndex
+}
+
+func buildEdgeIndex(c *graph.CSR) *edgeIndex {
+	n := c.N()
+	ei := &edgeIndex{n: n}
+	if n <= maxDenseEdgeIndex {
+		ei.dense = make([]int32, n*n)
+		for i := range ei.dense {
+			ei.dense[i] = -1
+		}
+		for v := 0; v < n; v++ {
+			nbrs, _ := c.Window(v)
+			base := c.Offset(v)
+			for i, to := range nbrs {
+				ei.dense[v*n+int(to)] = int32(base + i)
+			}
+		}
+		return ei
+	}
+	ei.sparse = make(map[int64]int32, c.Slots())
+	for v := 0; v < n; v++ {
+		nbrs, _ := c.Window(v)
+		base := c.Offset(v)
+		for i, to := range nbrs {
+			ei.sparse[int64(v)*int64(n)+int64(to)] = int32(base + i)
+		}
+	}
+	return ei
+}
+
+func (ei *edgeIndex) slot(from, to int) int32 {
+	if to < 0 || to >= ei.n {
+		return -1
+	}
+	if ei.dense != nil {
+		return ei.dense[from*ei.n+to]
+	}
+	if s, ok := ei.sparse[int64(from)*int64(ei.n)+int64(to)]; ok {
+		return s
+	}
+	return -1
+}
+
 // Run simulates the factory's programs on g until every node terminates.
 func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	n := g.N()
@@ -113,9 +178,12 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cut side length %d != n %d", len(opts.CutSide), n)
 	}
 
+	csr := g.Freeze()
+	slots := csr.Slots()
+
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
-		nbrs := g.Neighbors(v)
+		nbrs, wts := csr.Window(v)
 		local := Local{
 			ID:           v,
 			N:            n,
@@ -123,71 +191,113 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 			EdgeWeights:  make([]int64, len(nbrs)),
 			VertexWeight: g.VertexWeight(v),
 		}
-		for i, h := range nbrs {
-			local.Neighbors[i] = h.To
-			local.EdgeWeights[i] = h.Weight
+		for i, to := range nbrs {
+			local.Neighbors[i] = int(to)
+			local.EdgeWeights[i] = wts[i]
 		}
 		nodes[v] = factory(local)
 	}
 
-	maxPayload := int64(1)<<uint(bandwidth) - 1
+	// Routing index: for the directed edge v -> to stored at slot s in v's
+	// window, recvAt[s] is the slot of that message in to's inbox (the rank
+	// of v among to's sorted neighbors), and cutCross[s] marks cut edges.
+	ei := buildEdgeIndex(csr)
+	recvAt := make([]int32, slots)
+	for v := 0; v < n; v++ {
+		nbrs, _ := csr.Window(v)
+		base := csr.Offset(v)
+		for i, to := range nbrs {
+			recvAt[base+i] = int32(csr.Slot(int(to), v))
+		}
+	}
+	var cutCross []bool
+	if opts.CutSide != nil {
+		cutCross = make([]bool, slots)
+		for v := 0; v < n; v++ {
+			nbrs, _ := csr.Window(v)
+			base := csr.Offset(v)
+			for i, to := range nbrs {
+				cutCross[base+i] = opts.CutSide[v] != opts.CutSide[to]
+			}
+		}
+	}
+
+	// Double-buffered flat inboxes: slot s of the current buffer holds the
+	// payload sent over the corresponding directed edge, stamped with the
+	// round it is to be delivered in (stale slots are simply never read —
+	// no per-round clearing). arena holds the compacted inbox slices handed
+	// to Round, one CSR window per vertex, delivered in neighbor-rank
+	// (ascending sender id) order by construction.
+	curPayload := make([]int64, slots)
+	nextPayload := make([]int64, slots)
+	curStamp := make([]int32, slots)
+	nextStamp := make([]int32, slots)
+	lastSent := make([]int32, slots)
+	for i := 0; i < slots; i++ {
+		curStamp[i] = -1
+		nextStamp[i] = -1
+		lastSent[i] = -1
+	}
+	arena := make([]Incoming, slots)
+
 	done := make([]bool, n)
-	inboxes := make([][]Incoming, n)
 	metrics := Metrics{BandwidthBits: bandwidth}
+	maxPayload := int64(1)<<uint(bandwidth) - 1
 
 	for round := 0; ; round++ {
-		if round > maxRounds {
+		if round >= maxRounds {
 			return nil, fmt.Errorf("simulation exceeded %d rounds", maxRounds)
 		}
 		allDone := true
-		nextInboxes := make([][]Incoming, n)
-		anyMessage := false
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
 			}
-			outbox, finished := nodes[v].Round(round, inboxes[v])
+			base, end := csr.Offset(v), csr.Offset(v+1)
+			nbrs, _ := csr.Window(v)
+			cnt := 0
+			for i := base; i < end; i++ {
+				if curStamp[i] == int32(round) {
+					arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: curPayload[i]}
+					cnt++
+				}
+			}
+			outbox, finished := nodes[v].Round(round, arena[base:base+cnt])
 			if finished {
 				done[v] = true
 			} else {
 				allDone = false
 			}
-			sentTo := make(map[int]bool, len(outbox))
 			for _, msg := range outbox {
-				if !g.HasEdge(v, msg.To) {
+				s := ei.slot(v, msg.To)
+				if s < 0 {
 					return nil, fmt.Errorf("round %d: node %d sent to non-neighbor %d", round, v, msg.To)
 				}
-				if sentTo[msg.To] {
+				if lastSent[s] == int32(round) {
 					return nil, fmt.Errorf("round %d: node %d sent two messages to %d", round, v, msg.To)
 				}
-				sentTo[msg.To] = true
+				lastSent[s] = int32(round)
 				if msg.Payload < 0 || msg.Payload > maxPayload {
 					return nil, fmt.Errorf("round %d: node %d payload %d exceeds %d-bit bandwidth", round, v, msg.Payload, bandwidth)
 				}
-				nextInboxes[msg.To] = append(nextInboxes[msg.To], Incoming{From: v, Payload: msg.Payload})
+				nextPayload[recvAt[s]] = msg.Payload
+				nextStamp[recvAt[s]] = int32(round + 1)
 				metrics.Messages++
-				anyMessage = true
-				if opts.CutSide != nil && opts.CutSide[v] != opts.CutSide[msg.To] {
+				if cutCross != nil && cutCross[s] {
 					metrics.CutMessages++
 					metrics.CutBits += int64(bandwidth)
 				}
 			}
 		}
 		metrics.Rounds = round + 1
-		if allDone && !anyMessage {
+		if allDone {
+			// Messages sent in the final round would be delivered to
+			// already-terminated nodes; they are dropped (but metered, and
+			// the round still counts).
 			break
 		}
-		if allDone && anyMessage {
-			// Deliverable messages to already-terminated nodes are dropped;
-			// the round still counts.
-			break
-		}
-		for v := range nextInboxes {
-			sort.Slice(nextInboxes[v], func(i, j int) bool {
-				return nextInboxes[v][i].From < nextInboxes[v][j].From
-			})
-		}
-		inboxes = nextInboxes
+		curPayload, nextPayload = nextPayload, curPayload
+		curStamp, nextStamp = nextStamp, curStamp
 	}
 
 	outputs := make([]interface{}, n)

@@ -168,6 +168,157 @@ func TestMaxRoundsGuard(t *testing.T) {
 	}
 }
 
+func TestMaxRoundsExactLimit(t *testing.T) {
+	// MaxRounds = 10 must allow a program that uses exactly 10 rounds
+	// (round indices 0..9) and abort one that needs an 11th.
+	g := graph.Path(2)
+	doneAt := func(last int) Factory {
+		return func(local Local) Node {
+			return &FuncNode{
+				RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+					return nil, round >= last
+				},
+			}
+		}
+	}
+	res, err := Run(g, doneAt(9), Options{MaxRounds: 10})
+	if err != nil {
+		t.Fatalf("program finishing within the limit aborted: %v", err)
+	}
+	if res.Rounds != 10 {
+		t.Errorf("rounds = %d, want 10", res.Rounds)
+	}
+	if _, err := Run(g, doneAt(10), Options{MaxRounds: 10}); err == nil {
+		t.Error("program needing 11 rounds not aborted at MaxRounds=10")
+	}
+}
+
+func TestMessageToTerminatedNodeDropped(t *testing.T) {
+	// Node 0 terminates in round 0; node 1 sends to it in round 1. The
+	// message is metered and the round counts, but nothing is delivered.
+	g := graph.Path(2)
+	delivered := 0
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				delivered += len(inbox)
+				if local.ID == 0 {
+					return nil, true
+				}
+				if round == 0 {
+					return nil, false
+				}
+				return []Message{{To: 0, Payload: 7}}, true
+			},
+		}
+	}
+	res, err := Run(g, factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Errorf("%d messages delivered to a terminated node", delivered)
+	}
+	if res.Messages != 1 {
+		t.Errorf("messages = %d, want 1 (metered even though dropped)", res.Messages)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (the sending round counts)", res.Rounds)
+	}
+}
+
+func TestBandwidthRangeRejected(t *testing.T) {
+	g := graph.Path(2)
+	quiet := func(local Local) Node {
+		return &FuncNode{RoundFunc: func(int, []Incoming) ([]Message, bool) { return nil, true }}
+	}
+	for _, bad := range []int{-1, 63, 100} {
+		if _, err := Run(g, quiet, Options{BandwidthBits: bad}); err == nil {
+			t.Errorf("bandwidth %d accepted, want rejection outside [1,62]", bad)
+		}
+	}
+	for _, ok := range []int{1, 62} {
+		if _, err := Run(g, quiet, Options{BandwidthBits: ok}); err != nil {
+			t.Errorf("bandwidth %d rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestCutBitMeteringSymmetry(t *testing.T) {
+	// Asymmetric cut traffic: only node 1 (Alice side) sends across the
+	// cut. CutBits must equal CutMessages * BandwidthBits exactly.
+	g := graph.Path(4)
+	side := []bool{true, true, false, false}
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if local.ID == 1 && round < 3 {
+					return []Message{{To: 2, Payload: int64(round)}}, round == 2
+				}
+				return nil, round >= 2
+			},
+		}
+	}
+	res, err := Run(g, factory, Options{CutSide: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutMessages != 3 {
+		t.Errorf("cut messages = %d, want 3", res.CutMessages)
+	}
+	if res.CutBits != res.CutMessages*int64(res.BandwidthBits) {
+		t.Errorf("CutBits = %d, want CutMessages (%d) * BandwidthBits (%d)",
+			res.CutBits, res.CutMessages, res.BandwidthBits)
+	}
+}
+
+// chatterNode floods a fixed payload every round without allocating in
+// steady state: its outbox is built once and reused.
+type chatterNode struct {
+	outbox []Message
+	budget int
+}
+
+func newChatter(budget int) Factory {
+	return func(local Local) Node {
+		out := make([]Message, len(local.Neighbors))
+		for i, nbr := range local.Neighbors {
+			out[i] = Message{To: nbr, Payload: int64(local.ID)}
+		}
+		return &chatterNode{outbox: out, budget: budget}
+	}
+}
+
+func (c *chatterNode) Round(round int, inbox []Incoming) ([]Message, bool) {
+	if round >= c.budget {
+		return nil, true
+	}
+	return c.outbox, false
+}
+
+func (c *chatterNode) Output() interface{} { return nil }
+
+func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
+	// Compare the allocation counts of a short and a long simulation on
+	// the same graph: the extra rounds must not allocate at all.
+	g, err := graph.Cycle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(g, newChatter(rounds), Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, runWith(10))
+	long := testing.AllocsPerRun(5, runWith(1010))
+	if long > short {
+		t.Errorf("per-round allocations detected: %v allocs for 10 rounds, %v for 1010", short, long)
+	}
+}
+
 func TestLocalInfo(t *testing.T) {
 	g := graph.New(3)
 	g.MustAddWeightedEdge(0, 1, 5)

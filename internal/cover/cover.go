@@ -7,7 +7,7 @@
 // r sets.
 //
 // The paper invokes [40]'s probabilistic existence proof (T up to
-// exponential in ℓ/(r·2^r)); as recorded in DESIGN.md we substitute seeded
+// exponential in ℓ/(r·2^r)); as recorded in README.md we substitute seeded
 // random collections checked by an exhaustive verifier, resampling until
 // the property provably holds.
 package cover

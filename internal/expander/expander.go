@@ -6,7 +6,7 @@
 // Construction, following the paper's proof: each distinguished vertex
 // roots a full binary tree whose leaves are wired together by a cubic
 // expander. The paper cites Ajtai's explicit 3-regular expanders [2]; as
-// documented in DESIGN.md we substitute seeded random 3-regular graphs
+// documented in README.md we substitute seeded random 3-regular graphs
 // whose expansion is verified before acceptance (exhaustively for small
 // sizes, spectrally above), resampling on failure — so every gadget this
 // package returns has been checked, not merely sampled.

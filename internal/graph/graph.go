@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Half is one endpoint of an edge as seen from the other endpoint: the
@@ -34,6 +35,11 @@ type Edge struct {
 type Graph struct {
 	adj [][]Half
 	vw  []int64
+
+	// csr caches the Freeze() snapshot; mutators reset it. atomic so that
+	// concurrent readers (e.g. parallel family verification workers that
+	// share a graph) may Freeze safely.
+	csr atomic.Pointer[CSR]
 }
 
 // New returns an undirected graph with n isolated vertices, all of vertex
@@ -65,6 +71,7 @@ func (g *Graph) M() int {
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
 	g.vw = append(g.vw, 1)
+	g.csr.Store(nil)
 	return len(g.adj) - 1
 }
 
@@ -95,6 +102,7 @@ func (g *Graph) AddWeightedEdge(u, v int, w int64) error {
 	}
 	g.adj[u] = append(g.adj[u], Half{To: v, Weight: w})
 	g.adj[v] = append(g.adj[v], Half{To: u, Weight: w})
+	g.csr.Store(nil)
 	return nil
 }
 
@@ -112,10 +120,14 @@ func (g *Graph) MustAddWeightedEdge(u, v int, w int64) {
 	}
 }
 
-// HasEdge reports whether the edge {u, v} exists.
+// HasEdge reports whether the edge {u, v} exists. On a frozen graph this is
+// a binary search, O(log deg); otherwise a linear scan of the shorter list.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
 		return false
+	}
+	if c := g.csr.Load(); c != nil {
+		return c.Rank(u, v) >= 0
 	}
 	if len(g.adj[u]) > len(g.adj[v]) {
 		u, v = v, u
@@ -128,10 +140,14 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return false
 }
 
-// EdgeWeight returns the weight of edge {u, v}, and whether it exists.
+// EdgeWeight returns the weight of edge {u, v}, and whether it exists. On a
+// frozen graph this is a binary search, O(log deg).
 func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
 	if u < 0 || u >= len(g.adj) {
 		return 0, false
+	}
+	if c := g.csr.Load(); c != nil {
+		return c.EdgeWeight(u, v)
 	}
 	for _, h := range g.adj[u] {
 		if h.To == v {
@@ -143,6 +159,12 @@ func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
 
 // SetEdgeWeight updates the weight of an existing edge {u, v}.
 func (g *Graph) SetEdgeWeight(u, v int, w int64) error {
+	if err := g.checkVertex(u); err != nil {
+		return err
+	}
+	if err := g.checkVertex(v); err != nil {
+		return err
+	}
 	found := false
 	for i, h := range g.adj[u] {
 		if h.To == v {
@@ -158,6 +180,7 @@ func (g *Graph) SetEdgeWeight(u, v int, w int64) error {
 	if !found {
 		return fmt.Errorf("edge {%d,%d} not found", u, v)
 	}
+	g.csr.Store(nil)
 	return nil
 }
 
@@ -224,8 +247,12 @@ func (g *Graph) TotalEdgeWeight() int64 {
 	return total
 }
 
-// Edges returns all edges in canonical (U < V) form, sorted by (U, V).
+// Edges returns all edges in canonical (U < V) form, sorted by (U, V). On a
+// frozen graph the list is copied from the CSR snapshot without sorting.
 func (g *Graph) Edges() []Edge {
+	if c := g.csr.Load(); c != nil {
+		return append([]Edge(nil), c.edges...)
+	}
 	edges := make([]Edge, 0, g.M())
 	for u, nbrs := range g.adj {
 		for _, h := range nbrs {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -410,5 +411,131 @@ func TestQuickPowerComplete(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSetEdgeWeightOutOfRange(t *testing.T) {
+	// Regression: SetEdgeWeight used to index g.adj[u] without a bounds
+	// check and panicked on out-of-range endpoints.
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {3, 0}, {0, 3}, {5, 7}} {
+		if err := g.SetEdgeWeight(pair[0], pair[1], 2); err == nil {
+			t.Errorf("SetEdgeWeight(%d,%d) accepted out-of-range vertex", pair[0], pair[1])
+		}
+	}
+	if err := g.SetEdgeWeight(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 2 {
+		t.Errorf("weight = %d, want 2", w)
+	}
+}
+
+func TestFreezeMatchesUnfrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Gnp(20, 0.3, rng)
+	// Record unfrozen answers, freeze, and re-ask everything.
+	type q struct {
+		u, v int
+		has  bool
+		w    int64
+	}
+	var queries []q
+	for u := -1; u <= g.N(); u++ {
+		for v := -1; v <= g.N(); v++ {
+			w, _ := g.EdgeWeight(u, v)
+			queries = append(queries, q{u: u, v: v, has: g.HasEdge(u, v), w: w})
+		}
+	}
+	edgesBefore := g.Edges()
+	c := g.Freeze()
+	if c != g.Freeze() {
+		t.Error("Freeze not cached")
+	}
+	for _, qq := range queries {
+		if g.HasEdge(qq.u, qq.v) != qq.has {
+			t.Fatalf("frozen HasEdge(%d,%d) disagrees", qq.u, qq.v)
+		}
+		if w, _ := g.EdgeWeight(qq.u, qq.v); w != qq.w {
+			t.Fatalf("frozen EdgeWeight(%d,%d) = %d, want %d", qq.u, qq.v, w, qq.w)
+		}
+	}
+	edgesAfter := g.Edges()
+	if len(edgesBefore) != len(edgesAfter) {
+		t.Fatalf("edge count changed after freeze: %d vs %d", len(edgesBefore), len(edgesAfter))
+	}
+	for i := range edgesBefore {
+		if edgesBefore[i] != edgesAfter[i] {
+			t.Fatalf("edge %d changed after freeze: %+v vs %+v", i, edgesBefore[i], edgesAfter[i])
+		}
+	}
+	// CSR accessors agree with the graph.
+	for v := 0; v < g.N(); v++ {
+		if c.Degree(v) != g.Degree(v) {
+			t.Fatalf("CSR degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestFreezeInvalidatedByMutation(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.Freeze()
+	g.MustAddEdge(2, 3) // must invalidate the snapshot
+	if !g.HasEdge(2, 3) {
+		t.Error("edge added after freeze not visible")
+	}
+	if len(g.Edges()) != 2 {
+		t.Errorf("edges = %d, want 2", len(g.Edges()))
+	}
+	g.Freeze()
+	if err := g.SetEdgeWeight(0, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 9 {
+		t.Errorf("weight after SetEdgeWeight on frozen graph = %d, want 9", w)
+	}
+	g.Freeze()
+	v := g.AddVertex()
+	if g.N() != 5 || v != 4 {
+		t.Fatalf("AddVertex after freeze: n=%d v=%d", g.N(), v)
+	}
+	if g.HasEdge(4, 0) {
+		t.Error("phantom edge on fresh vertex")
+	}
+}
+
+func TestStructuralHashesTrackSignatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	within := make([]bool, 12)
+	for v := range within {
+		within[v] = v%3 != 0
+	}
+	side := make([]bool, 12)
+	for v := range side {
+		side[v] = v < 6
+	}
+	sigToHash := map[string]uint64{}
+	hashToSig := map[uint64]string{}
+	cutToHash := map[string]uint64{}
+	for trial := 0; trial < 40; trial++ {
+		g := Gnp(12, 0.35, rng)
+		sig := g.SignatureWithin(within)
+		h := g.HashWithin(within)
+		cutSig := fmt.Sprintf("%v", g.CutEdges(side))
+		cut := g.CutHash(side)
+		if prev, ok := sigToHash[sig]; ok && prev != h {
+			t.Fatal("equal signatures, different hashes")
+		}
+		if prev, ok := hashToSig[h]; ok && prev != sig {
+			t.Fatal("hash collision between distinct signatures")
+		}
+		if prev, ok := cutToHash[cutSig]; ok && prev != cut {
+			t.Fatal("equal cut lists, different cut hashes")
+		}
+		sigToHash[sig] = h
+		hashToSig[h] = sig
+		cutToHash[cutSig] = cut
 	}
 }

@@ -1,0 +1,239 @@
+package graph
+
+import "sort"
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph's
+// adjacency: per-vertex neighbor windows sorted by neighbor id, plus the
+// canonical sorted edge list. It is built once by Freeze and shared by
+// every hot path that would otherwise rescan adjacency lists — the CONGEST
+// simulator's routing tables, the solvers' membership tests and the
+// lower-bound-family verifier's structural hashes.
+//
+// A CSR is valid only for the graph state it was built from; any mutation
+// of the graph invalidates the cached snapshot (Freeze builds a fresh one
+// on the next call). The snapshot itself is never mutated, so it is safe
+// for concurrent readers.
+type CSR struct {
+	offsets []int32 // len n+1; vertex v's window is [offsets[v], offsets[v+1])
+	nbr     []int32 // neighbor ids, sorted within each window
+	wt      []int64 // edge weights, parallel to nbr
+	edges   []Edge  // canonical (U < V) edge list, sorted by (U, V)
+}
+
+// Freeze returns the CSR snapshot of g, building and caching it on first
+// use. Mutating the graph invalidates the cache. Concurrent Freeze calls
+// are safe; concurrent mutation is not (as with any Graph method).
+func (g *Graph) Freeze() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.csr.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	n := len(g.adj)
+	c := &CSR{offsets: make([]int32, n+1)}
+	total := 0
+	for v, nbrs := range g.adj {
+		total += len(nbrs)
+		c.offsets[v+1] = int32(total)
+	}
+	c.nbr = make([]int32, total)
+	c.wt = make([]int64, total)
+	for v, nbrs := range g.adj {
+		base := int(c.offsets[v])
+		for i, h := range nbrs {
+			c.nbr[base+i] = int32(h.To)
+			c.wt[base+i] = h.Weight
+		}
+		window := csrWindow{nbr: c.nbr[base : base+len(nbrs)], wt: c.wt[base : base+len(nbrs)]}
+		sort.Sort(window)
+	}
+	c.edges = make([]Edge, 0, total/2)
+	for v := 0; v < n; v++ {
+		for i := c.offsets[v]; i < c.offsets[v+1]; i++ {
+			if to := int(c.nbr[i]); v < to {
+				c.edges = append(c.edges, Edge{U: v, V: to, Weight: c.wt[i]})
+			}
+		}
+	}
+	return c
+}
+
+type csrWindow struct {
+	nbr []int32
+	wt  []int64
+}
+
+func (w csrWindow) Len() int           { return len(w.nbr) }
+func (w csrWindow) Less(i, j int) bool { return w.nbr[i] < w.nbr[j] }
+func (w csrWindow) Swap(i, j int) {
+	w.nbr[i], w.nbr[j] = w.nbr[j], w.nbr[i]
+	w.wt[i], w.wt[j] = w.wt[j], w.wt[i]
+}
+
+// N returns the number of vertices in the snapshot.
+func (c *CSR) N() int { return len(c.offsets) - 1 }
+
+// Degree returns the degree of v.
+func (c *CSR) Degree(v int) int { return int(c.offsets[v+1] - c.offsets[v]) }
+
+// Window returns v's neighbor ids and edge weights, sorted by neighbor id.
+// Both slices are the snapshot's internal storage and must not be modified.
+func (c *CSR) Window(v int) ([]int32, []int64) {
+	return c.nbr[c.offsets[v]:c.offsets[v+1]], c.wt[c.offsets[v]:c.offsets[v+1]]
+}
+
+// Rank returns the position of v within u's sorted neighbor window, or -1
+// if the edge {u, v} does not exist. offsets[u] + Rank(u, v) is the global
+// slot of the directed edge u -> v.
+func (c *CSR) Rank(u, v int) int {
+	lo, hi := c.offsets[u], c.offsets[u+1]
+	target := int32(v)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case c.nbr[mid] < target:
+			lo = mid + 1
+		case c.nbr[mid] > target:
+			hi = mid
+		default:
+			return int(mid - c.offsets[u])
+		}
+	}
+	return -1
+}
+
+// Slot returns the global directed-edge slot of u -> v (an index into the
+// flat window storage), or -1 if the edge does not exist.
+func (c *CSR) Slot(u, v int) int {
+	r := c.Rank(u, v)
+	if r < 0 {
+		return -1
+	}
+	return int(c.offsets[u]) + r
+}
+
+// Offset returns the start of v's window in the flat slot storage.
+func (c *CSR) Offset(v int) int { return int(c.offsets[v]) }
+
+// Slots returns the total number of directed-edge slots (2m).
+func (c *CSR) Slots() int { return len(c.nbr) }
+
+// HasEdge reports whether {u, v} exists, by binary search: O(log deg(u)).
+func (c *CSR) HasEdge(u, v int) bool {
+	if u < 0 || u >= c.N() || v < 0 || v >= c.N() {
+		return false
+	}
+	return c.Rank(u, v) >= 0
+}
+
+// EdgeWeight returns the weight of {u, v} and whether it exists.
+func (c *CSR) EdgeWeight(u, v int) (int64, bool) {
+	if u < 0 || u >= c.N() || v < 0 || v >= c.N() {
+		return 0, false
+	}
+	r := c.Rank(u, v)
+	if r < 0 {
+		return 0, false
+	}
+	return c.wt[c.offsets[u]+int32(r)], true
+}
+
+// Edges returns the canonical sorted edge list. The slice is the
+// snapshot's internal storage and must not be modified.
+func (c *CSR) Edges() []Edge { return c.edges }
+
+// 64-bit FNV-1a, mixed one uint64 at a time. The structural hashes below
+// replace the string signatures previously used by the lower-bound-family
+// verifier: instead of rendering a canonical description and comparing
+// strings, the same canonical content is folded into a 64-bit hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// HashWithin returns a 64-bit structural hash of the subgraph induced by
+// the vertex set marked by within — the hashed analogue of
+// SignatureWithin: vertex ids and weights of the marked vertices plus the
+// canonical edge list among them. Two calls agree iff the induced labeled
+// weighted subgraphs are identical (up to hash collision, ~2^-64).
+func (g *Graph) HashWithin(within []bool) uint64 {
+	h := uint64(fnvOffset64)
+	for v, w := range g.vw {
+		if within[v] {
+			h = fnvMix(h, uint64(v))
+			h = fnvMix(h, uint64(w))
+		}
+	}
+	h = fnvMix(h, 0xffffffffffffffff) // separator between vertex and edge sections
+	for _, e := range g.Freeze().Edges() {
+		if within[e.U] && within[e.V] {
+			h = fnvMix(h, uint64(e.U))
+			h = fnvMix(h, uint64(e.V))
+			h = fnvMix(h, uint64(e.Weight))
+		}
+	}
+	return h
+}
+
+// CutHash returns a 64-bit hash of the canonical cut edge list (the edges
+// with exactly one endpoint in side, with weights) — the hashed analogue
+// of rendering CutEdges to a string.
+func (g *Graph) CutHash(side []bool) uint64 {
+	h := uint64(fnvOffset64)
+	for _, e := range g.Freeze().Edges() {
+		if side[e.U] != side[e.V] {
+			h = fnvMix(h, uint64(e.U))
+			h = fnvMix(h, uint64(e.V))
+			h = fnvMix(h, uint64(e.Weight))
+		}
+	}
+	return h
+}
+
+// HashWithin is the directed analogue of Graph.HashWithin: vertex ids and
+// weights of the marked vertices plus the canonical arc list among them.
+func (d *Digraph) HashWithin(within []bool) uint64 {
+	h := uint64(fnvOffset64)
+	for v, w := range d.vw {
+		if within[v] {
+			h = fnvMix(h, uint64(v))
+			h = fnvMix(h, uint64(w))
+		}
+	}
+	h = fnvMix(h, 0xffffffffffffffff)
+	for _, a := range d.Arcs() {
+		if within[a.From] && within[a.To] {
+			h = fnvMix(h, uint64(a.From))
+			h = fnvMix(h, uint64(a.To))
+			h = fnvMix(h, uint64(a.Weight))
+		}
+	}
+	return h
+}
+
+// CutHash returns a 64-bit hash of the canonical list of arcs crossing the
+// side partition (either direction, with weights).
+func (d *Digraph) CutHash(side []bool) uint64 {
+	h := uint64(fnvOffset64)
+	for _, a := range d.Arcs() {
+		if side[a.From] != side[a.To] {
+			h = fnvMix(h, uint64(a.From))
+			h = fnvMix(h, uint64(a.To))
+			h = fnvMix(h, uint64(a.Weight))
+		}
+	}
+	return h
+}

@@ -26,50 +26,73 @@ func verifyDigraphOver(fam DigraphFamily, xs, ys []comm.Bits) error {
 		bobSide[i] = !a
 	}
 	f := fam.Func()
+	total := len(xs) * len(ys)
+	if total == 0 {
+		return nil
+	}
+
+	// Same two-phase scheme as verifyOver: parallel workers record per-pair
+	// outcomes, a serial row-major pass reproduces the historical checks
+	// and error messages deterministically.
+	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
+		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
+		d, err := fam.Build(x, y)
+		if err != nil {
+			out.buildErr = err
+			return false
+		}
+		out.n = d.N()
+		if out.n != len(side) {
+			return false
+		}
+		out.cutHash = d.CutHash(side)
+		out.aHash = d.HashWithin(side)
+		out.bHash = d.HashWithin(bobSide)
+		out.got, out.predErr = fam.Predicate(d)
+		return out.predErr == nil
+	})
 
 	wantN := -1
-	cutSig := ""
-	bSigByY := make(map[string]string)
-	aSigByX := make(map[string]string)
-
-	for _, x := range xs {
-		for _, y := range ys {
-			d, err := fam.Build(x, y)
-			if err != nil {
-				return fmt.Errorf("build(%s,%s): %w", x, y, err)
+	var cutHash uint64
+	cutSeen := false
+	bByY := make([]uint64, len(ys))
+	bSeen := make([]bool, len(ys))
+	aByX := make([]uint64, len(xs))
+	aSeen := make([]bool, len(xs))
+	for xi, x := range xs {
+		for yi, y := range ys {
+			out := &outcomes[xi*len(ys)+yi]
+			if out.buildErr != nil {
+				return fmt.Errorf("build(%s,%s): %w", x, y, out.buildErr)
 			}
 			if wantN == -1 {
-				wantN = d.N()
+				wantN = out.n
 				if len(side) != wantN {
 					return fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), wantN)
 				}
 			}
-			if d.N() != wantN {
-				return fmt.Errorf("condition 1 violated: vertex count %d != %d", d.N(), wantN)
+			if out.n != wantN {
+				return fmt.Errorf("condition 1 violated: vertex count %d != %d", out.n, wantN)
 			}
-			cut := fmt.Sprintf("%v", d.CutArcs(side))
-			if cutSig == "" {
-				cutSig = cut
-			} else if cut != cutSig {
+			if !cutSeen {
+				cutHash = out.cutHash
+				cutSeen = true
+			} else if out.cutHash != cutHash {
 				return fmt.Errorf("cut arcs changed with input at (%s,%s)", x, y)
 			}
-			bSig := d.SignatureWithin(bobSide)
-			if prev, ok := bSigByY[y.String()]; ok && prev != bSig {
+			if bSeen[yi] && bByY[yi] != out.bHash {
 				return fmt.Errorf("condition 2 violated: G[V_B] changed with x at (%s,%s)", x, y)
 			}
-			bSigByY[y.String()] = bSig
-			aSig := d.SignatureWithin(side)
-			if prev, ok := aSigByX[x.String()]; ok && prev != aSig {
+			bByY[yi], bSeen[yi] = out.bHash, true
+			if aSeen[xi] && aByX[xi] != out.aHash {
 				return fmt.Errorf("condition 3 violated: G[V_A] changed with y at (%s,%s)", x, y)
 			}
-			aSigByX[x.String()] = aSig
-
-			got, err := fam.Predicate(d)
-			if err != nil {
-				return fmt.Errorf("predicate at (%s,%s): %w", x, y, err)
+			aByX[xi], aSeen[xi] = out.aHash, true
+			if out.predErr != nil {
+				return fmt.Errorf("predicate at (%s,%s): %w", x, y, out.predErr)
 			}
-			if want := f.Eval(x, y); got != want {
-				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, got, f.Name(), want)
+			if want := f.Eval(x, y); out.got != want {
+				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, out.got, f.Name(), want)
 			}
 		}
 	}

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"congesthard/internal/comm"
 	"congesthard/internal/congest"
@@ -130,6 +133,65 @@ func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 	return verifyOver(fam, inputs, inputs, false)
 }
 
+// pairOutcome is the per-(x, y) result computed by a verification worker:
+// build/predicate errors, the vertex count, 64-bit structural hashes of the
+// cut and of the two induced sides, and the predicate's verdict. The cheap
+// serial pass over these outcomes reproduces exactly the checks (and error
+// messages) of the old serial verifier, in the same row-major order.
+type pairOutcome struct {
+	buildErr error
+	predErr  error
+	n        int
+	cutHash  uint64
+	aHash    uint64
+	bHash    uint64
+	got      bool
+}
+
+// verifyWorkers returns the worker count for a pair workload.
+func verifyWorkers(total int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > total {
+		w = total
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// computePairs runs compute for every pair index across a worker pool and
+// returns the recorded outcomes. compute fills outcomes[idx] and reports
+// whether the pair succeeded; after a failure, workers skip pairs that
+// come later in row-major order (the serial scan never reads past the
+// first failing pair, which is always fully computed).
+func computePairs(total int, compute func(idx int64, out *pairOutcome) bool) []pairOutcome {
+	outcomes := make([]pairOutcome, total)
+	var nextIdx, minErr atomic.Int64
+	minErr.Store(int64(total))
+	var wg sync.WaitGroup
+	for w := verifyWorkers(total); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := nextIdx.Add(1) - 1
+				if idx >= int64(total) {
+					return
+				}
+				if idx > minErr.Load() {
+					continue
+				}
+				if !compute(idx, &outcomes[idx]) {
+					storeMin(&minErr, idx)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes
+}
+
 func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
 	side := fam.AliceSide()
 	bobSide := make([]bool, len(side))
@@ -137,60 +199,94 @@ func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
 		bobSide[i] = !a
 	}
 	f := fam.Func()
+	total := len(xs) * len(ys)
+	if total == 0 {
+		return nil
+	}
 
-	var wantN = -1
-	cutSig := ""
-	// Condition 2: G[V_B] depends only on y. Record the V_B signature per y
-	// and require it constant across x. Symmetrically for V_A per x.
-	bSigByY := make(map[string]string)
-	aSigByX := make(map[string]string)
+	// Phase 1: build every G_{x,y}, hash its structure and evaluate the
+	// predicate, sharded across a worker pool. Workers never decide
+	// violations — they only record outcomes — so the error reported below
+	// is deterministic regardless of scheduling.
+	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
+		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
+		g, err := fam.Build(x, y)
+		if err != nil {
+			out.buildErr = err
+			return false
+		}
+		out.n = g.N()
+		if out.n != len(side) {
+			// Condition 1 violation; the serial pass reports it before
+			// any hash of this pair is consulted.
+			return false
+		}
+		out.cutHash = g.CutHash(side)
+		out.aHash = g.HashWithin(side)
+		out.bHash = g.HashWithin(bobSide)
+		out.got, out.predErr = fam.Predicate(g)
+		return out.predErr == nil
+	})
 
-	for _, x := range xs {
-		for _, y := range ys {
-			g, err := fam.Build(x, y)
-			if err != nil {
-				return fmt.Errorf("build(%s,%s): %w", x, y, err)
+	// Phase 2: serial row-major scan, identical in order and messages to
+	// the historical serial verifier.
+	wantN := -1
+	var cutHash uint64
+	cutSeen := false
+	bByY := make([]uint64, len(ys))
+	bSeen := make([]bool, len(ys))
+	aByX := make([]uint64, len(xs))
+	aSeen := make([]bool, len(xs))
+	for xi, x := range xs {
+		for yi, y := range ys {
+			out := &outcomes[xi*len(ys)+yi]
+			if out.buildErr != nil {
+				return fmt.Errorf("build(%s,%s): %w", x, y, out.buildErr)
 			}
 			if wantN == -1 {
-				wantN = g.N()
+				wantN = out.n
 				if len(side) != wantN {
 					return fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), wantN)
 				}
 			}
-			if g.N() != wantN {
-				return fmt.Errorf("condition 1 violated: vertex count %d != %d at (%s,%s)", g.N(), wantN, x, y)
+			if out.n != wantN {
+				return fmt.Errorf("condition 1 violated: vertex count %d != %d at (%s,%s)", out.n, wantN, x, y)
 			}
-			cut := fmt.Sprintf("%v", g.CutEdges(side))
-			if cutSig == "" {
-				cutSig = cut
-			} else if cut != cutSig {
+			if !cutSeen {
+				cutHash = out.cutHash
+				cutSeen = true
+			} else if out.cutHash != cutHash {
 				return fmt.Errorf("cut edges changed with input at (%s,%s)", x, y)
 			}
-			bKey := y.String()
-			bSig := g.SignatureWithin(bobSide)
-			if prev, ok := bSigByY[bKey]; ok && prev != bSig {
+			if bSeen[yi] && bByY[yi] != out.bHash {
 				return fmt.Errorf("condition 2 violated: G[V_B] changed with x at (%s,%s)", x, y)
 			}
-			bSigByY[bKey] = bSig
-			aKey := x.String()
-			aSig := g.SignatureWithin(side)
-			if prev, ok := aSigByX[aKey]; ok && prev != aSig {
+			bByY[yi], bSeen[yi] = out.bHash, true
+			if aSeen[xi] && aByX[xi] != out.aHash {
 				return fmt.Errorf("condition 3 violated: G[V_A] changed with y at (%s,%s)", x, y)
 			}
-			aSigByX[aKey] = aSig
-
-			got, err := fam.Predicate(g)
-			if err != nil {
-				return fmt.Errorf("predicate at (%s,%s): %w", x, y, err)
+			aByX[xi], aSeen[xi] = out.aHash, true
+			if out.predErr != nil {
+				return fmt.Errorf("predicate at (%s,%s): %w", x, y, out.predErr)
 			}
 			want := f.Eval(x, y)
-			if got != want {
-				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, got, f.Name(), want)
+			if out.got != want {
+				return fmt.Errorf("condition 4 violated at (x=%s, y=%s): P=%v but %s=%v", x, y, out.got, f.Name(), want)
 			}
 		}
 	}
 	_ = exhaustive
 	return nil
+}
+
+// storeMin lowers m to idx if idx is smaller.
+func storeMin(m *atomic.Int64, idx int64) {
+	for {
+		cur := m.Load()
+		if idx >= cur || m.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
 }
 
 // SimulateTwoParty runs a CONGEST algorithm on G_{x,y} with Alice
@@ -224,6 +320,7 @@ type DerivedFamily struct {
 	// F overrides the function; nil keeps the inner family's function.
 	F comm.Function
 
+	mu         sync.Mutex // guards cachedSide (Build runs on verify workers)
 	cachedSide []bool
 }
 
@@ -253,20 +350,28 @@ func (d *DerivedFamily) Build(x, y comm.Bits) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.mu.Lock()
 	d.cachedSide = side
+	d.mu.Unlock()
 	return out, nil
 }
 
 // AliceSide returns the derived partition (building the zero instance if
 // needed to learn it).
 func (d *DerivedFamily) AliceSide() []bool {
-	if d.cachedSide == nil {
+	d.mu.Lock()
+	side := d.cachedSide
+	d.mu.Unlock()
+	if side == nil {
 		zero := comm.NewBits(d.K())
 		if _, err := d.Build(zero, zero); err != nil {
 			return nil
 		}
+		d.mu.Lock()
+		side = d.cachedSide
+		d.mu.Unlock()
 	}
-	return d.cachedSide
+	return side
 }
 
 // Predicate decides the derived predicate.

@@ -183,3 +183,26 @@ func TestDerivedFamily(t *testing.T) {
 		t.Error("metadata wrong")
 	}
 }
+
+func TestVerifyErrorIsDeterministic(t *testing.T) {
+	// break 4 makes the predicate wrong at many (x, y) pairs at once. The
+	// parallel verifier must always blame the row-major-first violating
+	// pair, independent of worker scheduling.
+	var first string
+	for trial := 0; trial < 20; trial++ {
+		err := Verify(&toyFamily{breakCondition: 4})
+		if err == nil {
+			t.Fatal("broken family accepted")
+		}
+		if trial == 0 {
+			first = err.Error()
+			if !strings.Contains(first, "(x=0, y=0)") {
+				t.Fatalf("error %q does not blame the first pair", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("nondeterministic error: %q vs %q", err.Error(), first)
+		}
+	}
+}

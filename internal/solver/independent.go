@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"congesthard/internal/graph"
@@ -71,19 +72,11 @@ func (s *misSearch) record(weight int64) {
 // aliveDegree returns |N(v) ∩ alive|.
 func (s *misSearch) aliveDegree(v int, alive bitset) int {
 	deg := 0
+	adj := s.adj[v]
 	for i := range alive {
-		deg += onesCount(s.adj[v][i] & alive[i])
+		deg += bits.OnesCount64(adj[i] & alive[i])
 	}
 	return deg
-}
-
-func onesCount(v uint64) int {
-	count := 0
-	for v != 0 {
-		v &= v - 1
-		count++
-	}
-	return count
 }
 
 // takeVertex includes v: removes N[v] from alive and returns the weight of
@@ -93,24 +86,14 @@ func (s *misSearch) takeVertex(v int, alive bitset) int64 {
 	for i := range alive {
 		gone := alive[i] & s.adj[v][i]
 		for gone != 0 {
-			b := gone & (-gone)
-			idx := i*64 + trailing(b)
+			idx := i*64 + bits.TrailingZeros64(gone)
 			removed += s.weights[idx]
-			gone ^= b
+			gone &= gone - 1
 		}
 		alive[i] &^= s.adj[v][i]
 	}
 	alive.clear(v)
 	return removed
-}
-
-func trailing(b uint64) int {
-	idx := 0
-	for b&1 == 0 {
-		b >>= 1
-		idx++
-	}
-	return idx
 }
 
 // recurse explores the alive subgraph. aliveWeight is the total weight of
@@ -120,39 +103,47 @@ func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
 		return
 	}
 	// Reduction loop: isolated vertices and dominant degree-1 vertices.
+	// Iterates set bits word by word; the stale-word snapshot is rechecked
+	// against alive because the loop body clears bits.
 	markLen := len(s.current)
 	changed := true
 	for changed {
 		changed = false
-		for v := 0; v < s.n; v++ {
-			if !alive.get(v) {
-				continue
-			}
-			deg := s.aliveDegree(v, alive)
-			if deg == 0 {
-				alive.clear(v)
-				aliveWeight -= s.weights[v]
-				weight += s.weights[v]
-				s.current = append(s.current, v)
-				changed = true
-				continue
-			}
-			if deg == 1 {
-				u := s.soleAliveNeighbor(v, alive)
-				if s.weights[v] >= s.weights[u] {
-					removed := s.takeVertex(v, alive)
-					aliveWeight -= removed + s.weights[v]
+		for i, word := range alive {
+			for word != 0 {
+				v := i*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !alive.get(v) {
+					continue
+				}
+				deg := s.aliveDegree(v, alive)
+				if deg == 0 {
+					alive.clear(v)
+					aliveWeight -= s.weights[v]
 					weight += s.weights[v]
 					s.current = append(s.current, v)
 					changed = true
+					continue
+				}
+				if deg == 1 {
+					u := s.soleAliveNeighbor(v, alive)
+					if s.weights[v] >= s.weights[u] {
+						removed := s.takeVertex(v, alive)
+						aliveWeight -= removed + s.weights[v]
+						weight += s.weights[v]
+						s.current = append(s.current, v)
+						changed = true
+					}
 				}
 			}
 		}
 	}
 	// Find the maximum-degree alive vertex.
 	branchVertex, maxDeg := -1, -1
-	for v := 0; v < s.n; v++ {
-		if alive.get(v) {
+	for i, word := range alive {
+		for word != 0 {
+			v := i*64 + bits.TrailingZeros64(word)
+			word &= word - 1
 			if d := s.aliveDegree(v, alive); d > maxDeg {
 				maxDeg = d
 				branchVertex = v
@@ -187,7 +178,7 @@ func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
 func (s *misSearch) soleAliveNeighbor(v int, alive bitset) int {
 	for i := range alive {
 		if both := s.adj[v][i] & alive[i]; both != 0 {
-			return i*64 + trailing(both&(-both))
+			return i*64 + bits.TrailingZeros64(both)
 		}
 	}
 	return -1
@@ -224,9 +215,8 @@ func (s *misSearch) collectComponent(start int, alive, visited bitset) []int {
 		for i := range alive {
 			nbrs := s.adj[v][i] & alive[i]
 			for nbrs != 0 {
-				b := nbrs & (-nbrs)
-				u := i*64 + trailing(b)
-				nbrs ^= b
+				u := i*64 + bits.TrailingZeros64(nbrs)
+				nbrs &= nbrs - 1
 				if !visited.get(u) {
 					visited.set(u)
 					queue = append(queue, u)
@@ -390,6 +380,9 @@ func MinVertexCoverSize(g *graph.Graph) (int, []int, error) {
 
 // IsIndependentSet reports whether set is independent in g.
 func IsIndependentSet(g *graph.Graph, set []int) bool {
+	if len(set) > 2 {
+		g.Freeze() // O(k^2) membership probes; index the adjacency once
+	}
 	for i, u := range set {
 		if u < 0 || u >= g.N() {
 			return false

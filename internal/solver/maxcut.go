@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"congesthard/internal/graph"
@@ -12,13 +13,27 @@ import (
 // O(1) amortized update per step. Practical to about 28 vertices, which
 // covers the paper's max-cut family at its verification sizes.
 func MaxCut(g *graph.Graph) (int64, []bool, error) {
+	best, bestMask, err := maxCutSearch(g, math.MaxInt64)
+	if err != nil {
+		return 0, nil, err
+	}
+	side := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		side[v] = bestMask&(uint64(1)<<uint(v)) != 0
+	}
+	return best, side, nil
+}
+
+// maxCutSearch runs the Gray-code enumeration; it stops early as soon as a
+// cut of weight >= stopAt is seen (pass an unreachable bound to force the
+// full maximization).
+func maxCutSearch(g *graph.Graph, stopAt int64) (int64, uint64, error) {
 	n := g.N()
 	if n > 28 {
-		return 0, nil, fmt.Errorf("exact max-cut limited to 28 vertices, got %d", n)
+		return 0, 0, fmt.Errorf("exact max-cut limited to 28 vertices, got %d", n)
 	}
-	side := make([]bool, n)
 	if n <= 1 {
-		return 0, side, nil
+		return 0, 0, nil
 	}
 
 	// incident[v] = edges incident to v, for the incremental flip update.
@@ -36,6 +51,9 @@ func MaxCut(g *graph.Graph) (int64, []bool, error) {
 	best := int64(0)
 	bestMask := uint64(0)
 	mask := uint64(0)
+	if best >= stopAt {
+		return best, bestMask, nil
+	}
 	// Enumerate assignments of vertices 1..n-1 in Gray-code order so each
 	// step flips exactly one vertex.
 	steps := uint64(1) << uint(n-1)
@@ -55,18 +73,19 @@ func MaxCut(g *graph.Graph) (int64, []bool, error) {
 		if current > best {
 			best = current
 			bestMask = mask
+			if best >= stopAt {
+				return best, bestMask, nil
+			}
 		}
 	}
-	for v := 0; v < n; v++ {
-		side[v] = bestMask&(uint64(1)<<uint(v)) != 0
-	}
-	return best, side, nil
+	return best, bestMask, nil
 }
 
 // HasCutOfWeight reports whether g has a cut of weight at least target
-// (the decision predicate of Theorem 2.8).
+// (the decision predicate of Theorem 2.8). The enumeration returns as soon
+// as a witness cut is found, so YES instances are decided early.
 func HasCutOfWeight(g *graph.Graph, target int64) (bool, error) {
-	best, _, err := MaxCut(g)
+	best, _, err := maxCutSearch(g, target)
 	if err != nil {
 		return false, err
 	}

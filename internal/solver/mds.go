@@ -137,12 +137,30 @@ func minDominatingSetFrom(g *graph.Graph, dominatedInit bitset, cap int64) (int6
 	}
 	maxCover := g.MaxDegree() + 1
 
+	// Branch order is fixed per vertex (N[v] by descending degree, computed
+	// with the same unstable sort the search historically ran per node), so
+	// it is hoisted out of the recursion. scratch provides one reusable
+	// bitset per recursion depth — the search allocates nothing per node.
+	candidatesOf := make([][]int, n)
+	for v := 0; v < n; v++ {
+		candidates := make([]int, 0, len(g.Neighbors(v))+1)
+		candidates = append(candidates, v)
+		for _, h := range g.Neighbors(v) {
+			candidates = append(candidates, h.To)
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return len(g.Neighbors(candidates[i])) > len(g.Neighbors(candidates[j]))
+		})
+		candidatesOf[v] = candidates
+	}
+	scratch := make([]bitset, n+1)
+
 	best := cap + 1
 	var bestSet []int
 	current := make([]int, 0, n)
 
-	var recurse func(dominated bitset, weight int64)
-	recurse = func(dominated bitset, weight int64) {
+	var recurse func(dominated bitset, weight int64, depth int)
+	recurse = func(dominated bitset, weight int64, depth int) {
 		undominated := n - dominated.count()
 		if undominated == 0 {
 			if weight < best {
@@ -165,23 +183,20 @@ func minDominatingSetFrom(g *graph.Graph, dominatedInit bitset, cap int64) (int6
 		v := dominated.firstClear(n)
 		// v must be dominated by some vertex in N[v]; branch over choices,
 		// heaviest domination gain first.
-		candidates := make([]int, 0, len(g.Neighbors(v))+1)
-		candidates = append(candidates, v)
-		for _, h := range g.Neighbors(v) {
-			candidates = append(candidates, h.To)
+		next := scratch[depth]
+		if next == nil {
+			next = newBitset(n)
+			scratch[depth] = next
 		}
-		sort.Slice(candidates, func(i, j int) bool {
-			return len(g.Neighbors(candidates[i])) > len(g.Neighbors(candidates[j]))
-		})
-		for _, c := range candidates {
-			next := dominated.clone()
+		for _, c := range candidatesOf[v] {
+			copy(next, dominated)
 			next.orInto(closed[c])
 			current = append(current, c)
-			recurse(next, weight+g.VertexWeight(c))
+			recurse(next, weight+g.VertexWeight(c), depth+1)
 			current = current[:len(current)-1]
 		}
 	}
-	recurse(dominatedInit.clone(), 0)
+	recurse(dominatedInit.clone(), 0, 0)
 	if bestSet == nil {
 		return 0, nil, false, nil
 	}

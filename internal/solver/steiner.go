@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"congesthard/internal/graph"
 )
@@ -123,7 +124,14 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 	if c := binomialSum(len(others), budget); c > 1e7 {
 		return false, fmt.Errorf("steiner decision too large: ~%.0f subsets", c)
 	}
+	if len(terminals) == 0 {
+		return true, nil
+	}
+	if n <= 64 {
+		return hasSteinerTreeSmall(g, terminals, others, budget), nil
+	}
 	allowed := make([]bool, n)
+	scratch := newBFSScratch(n)
 	var chosen []int
 	var try func(startIdx, remaining int) bool
 	try = func(startIdx, remaining int) bool {
@@ -133,7 +141,7 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 		for _, v := range chosen {
 			allowed[v] = true
 		}
-		if len(terminals) == 0 || terminalsConnected(g, terminals, allowed) {
+		if len(terminals) == 0 || scratch.terminalsConnected(g, terminals, allowed) {
 			return true
 		}
 		if remaining == 0 {
@@ -149,6 +157,50 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 		return false
 	}
 	return try(0, budget), nil
+}
+
+// hasSteinerTreeSmall is the n <= 64 fast path of HasSteinerTreeWithEdges:
+// adjacency and reachability live in single machine words, so each
+// candidate-subset connectivity probe costs O(reached vertices) word ops
+// and allocates nothing. The enumeration order matches the general path.
+func hasSteinerTreeSmall(g *graph.Graph, terminals, others []int, budget int) bool {
+	n := g.N()
+	adjMask := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, h := range g.Neighbors(v) {
+			adjMask[v] |= uint64(1) << uint(h.To)
+		}
+	}
+	var termMask uint64
+	for _, t := range terminals {
+		termMask |= uint64(1) << uint(t)
+	}
+	start := terminals[0]
+	var try func(startIdx, remaining int, allowed uint64) bool
+	try = func(startIdx, remaining int, allowed uint64) bool {
+		reach := uint64(1) << uint(start)
+		frontier := reach
+		for frontier != 0 {
+			v := bits.TrailingZeros64(frontier)
+			frontier &= frontier - 1
+			add := adjMask[v] & allowed &^ reach
+			reach |= add
+			frontier |= add
+		}
+		if termMask&^reach == 0 {
+			return true
+		}
+		if remaining == 0 {
+			return false
+		}
+		for i := startIdx; i < len(others); i++ {
+			if try(i+1, remaining-1, allowed|uint64(1)<<uint(others[i])) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(0, budget, termMask)
 }
 
 func binomialSum(n, k int) float64 {
@@ -228,6 +280,7 @@ func NodeWeightedSteinerEnum(g *graph.Graph, terminals []int) (int64, error) {
 	best := inf
 	subsets := 1 << uint(len(positive))
 	allowed := make([]bool, n)
+	scratch := newBFSScratch(n)
 	for mask := 0; mask < subsets; mask++ {
 		var weight int64
 		for v := 0; v < n; v++ {
@@ -250,7 +303,7 @@ func NodeWeightedSteinerEnum(g *graph.Graph, terminals []int) (int64, error) {
 		if weight >= best {
 			continue
 		}
-		if terminalsConnected(g, terminals, allowed) {
+		if scratch.terminalsConnected(g, terminals, allowed) {
 			best = weight
 		}
 	}
@@ -290,9 +343,10 @@ func HasNodeSteinerWithin(g *graph.Graph, terminals []int, budget int64) (bool, 
 		}
 	}
 	allowed := make([]bool, n)
+	scratch := newBFSScratch(n)
 	var try func(idx int, remaining int64) bool
 	try = func(idx int, remaining int64) bool {
-		if terminalsConnected(g, terminals, allowed) {
+		if scratch.terminalsConnected(g, terminals, allowed) {
 			return true
 		}
 		for i := idx; i < len(positive); i++ {
@@ -353,21 +407,42 @@ func HasDirectedSteinerWithin(d *graph.Digraph, root int, terminals []int, budge
 }
 
 func terminalsConnected(g *graph.Graph, terminals []int, allowed []bool) bool {
-	seen := make([]bool, g.N())
-	queue := []int{terminals[0]}
-	seen[terminals[0]] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	return newBFSScratch(g.N()).terminalsConnected(g, terminals, allowed)
+}
+
+// bfsScratch holds reusable BFS buffers so that subset-enumeration solvers
+// (which run one connectivity probe per candidate subset) do not allocate
+// per probe. Seen-marks are epoch-stamped, so resets are O(1).
+type bfsScratch struct {
+	stamp []int32
+	epoch int32
+	queue []int
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{stamp: make([]int32, n), queue: make([]int, 0, n)}
+}
+
+// terminalsConnected reports whether every terminal is reachable from
+// terminals[0] through vertices marked allowed.
+func (s *bfsScratch) terminalsConnected(g *graph.Graph, terminals []int, allowed []bool) bool {
+	s.epoch++
+	epoch := s.epoch
+	queue := s.queue[:0]
+	queue = append(queue, terminals[0])
+	s.stamp[terminals[0]] = epoch
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, h := range g.Neighbors(v) {
-			if allowed[h.To] && !seen[h.To] {
-				seen[h.To] = true
+			if allowed[h.To] && s.stamp[h.To] != epoch {
+				s.stamp[h.To] = epoch
 				queue = append(queue, h.To)
 			}
 		}
 	}
+	s.queue = queue
 	for _, term := range terminals {
-		if !seen[term] {
+		if s.stamp[term] != epoch {
 			return false
 		}
 	}

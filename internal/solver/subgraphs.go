@@ -89,6 +89,7 @@ func IsTwoSpanner(g *graph.Graph, subEdges []graph.Edge) bool {
 // enumerating edge subsets (limit 20 edges), as ground truth for the
 // Section 3.3 reduction tests.
 func MinTwoSpannerWeight(g *graph.Graph) (int64, error) {
+	g.Freeze() // IsTwoSpanner probes g per subset; index the adjacency once
 	edges := g.Edges()
 	if len(edges) > 20 {
 		return 0, fmt.Errorf("2-spanner enumeration limited to 20 edges, got %d", len(edges))
