@@ -548,32 +548,37 @@ func BenchmarkCongestRunCore(b *testing.B) {
 }
 
 // BenchmarkVerifyExhaustive runs the full Definition 1.1 exhaustive
-// verification (all 2^(2K) pairs, parallel across cores) for the two
-// heaviest Section 2 families; this is the workload the constructions test
-// suites spend their time in, tracked here for the BENCH trajectory.
+// verification (all 2^(2K) pairs, parallel across cores) for the heaviest
+// Section 2 families; this is the workload the constructions test suites
+// spend their time in, tracked here for the BENCH trajectory. All three
+// families are delta-enabled, so verification walks the input cube in
+// Gray-code order with per-worker oracle arenas: allocs/op must stay flat
+// in the number of pairs (roughly one allocation per pair of setup cost —
+// the CI bench smoke fails if it regresses toward the ~190 allocs/pair of
+// the rebuild path).
 func BenchmarkVerifyExhaustive(b *testing.B) {
-	b.Run("mdslb", func(b *testing.B) {
-		fam, err := mdslb.New(2)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for i := 0; i < b.N; i++ {
-			if err := lbfamily.Verify(fam); err != nil {
+	families := []struct {
+		name string
+		fam  func() (lbfamily.Family, error)
+	}{
+		{"mdslb", func() (lbfamily.Family, error) { return mdslb.New(2) }},
+		{"maxcutlb", func() (lbfamily.Family, error) { return maxcutlb.New(2) }},
+		{"steinerlb", func() (lbfamily.Family, error) { return steinerlb.New(2) }},
+	}
+	for _, bench := range families {
+		b.Run(bench.name, func(b *testing.B) {
+			fam, err := bench.fam()
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-	})
-	b.Run("maxcutlb", func(b *testing.B) {
-		fam, err := maxcutlb.New(2)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for i := 0; i < b.N; i++ {
-			if err := lbfamily.Verify(fam); err != nil {
-				b.Fatal(err)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := lbfamily.Verify(fam); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkMVCFamily covers the Section 3 base family (used by E8/E9).

@@ -120,6 +120,24 @@ func (b Bits) Equal(other Bits) bool {
 	return true
 }
 
+// ForEachDiff calls fn on every index where b and other differ, in
+// increasing order, stopping early if fn returns false. The strings must
+// have equal length. It is the delta primitive of incremental input walks:
+// the number of calls is the Hamming distance, so consecutive Gray-code
+// inputs cost exactly one call.
+func (b Bits) ForEachDiff(other Bits, fn func(i int) bool) {
+	for wi := range b.w {
+		diff := b.w[wi] ^ other.w[wi]
+		for diff != 0 {
+			i := wi*64 + bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			if !fn(i) {
+				return
+			}
+		}
+	}
+}
+
 // Intersects reports whether there is an index i with b[i] = other[i] = 1.
 // Lengths must match.
 func (b Bits) Intersects(other Bits) bool {

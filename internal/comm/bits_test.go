@@ -152,3 +152,44 @@ func TestQuickIntersectsSymmetric(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestForEachDiff(t *testing.T) {
+	a, _ := BitsFromUint64(10, 0b1010110010)
+	b, _ := BitsFromUint64(10, 0b0010010110)
+	var got []int
+	a.ForEachDiff(b, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("diff indices %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diff indices %v, want %v", got, want)
+		}
+	}
+	// Early stop after the first index.
+	count := 0
+	a.ForEachDiff(b, func(i int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop made %d calls", count)
+	}
+	// Equal strings yield no calls; long strings exercise multiple words.
+	long := NewBits(130)
+	long2 := long.Clone()
+	long2.Set(129, true)
+	long2.Set(0, true)
+	var idx []int
+	long.ForEachDiff(long2, func(i int) bool {
+		idx = append(idx, i)
+		return true
+	})
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 129 {
+		t.Fatalf("multi-word diff %v", idx)
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import "fmt"
+
+// EdgeDelta records one edge mutation: the edge {U, V} (canonical U < V)
+// either became present with weight W (Add) or was removed while carrying
+// weight W (!Add). A weight change is recorded as a remove of the old
+// weight followed by an add of the new one. Deltas are the currency of the
+// incremental observers built on top of the graph: the lower-bound-family
+// verifier folds them into its structural hashes in O(1) per delta instead
+// of rehashing the whole graph per input pair.
+type EdgeDelta struct {
+	U, V int
+	W    int64
+	Add  bool
+}
+
+// StartJournal begins recording edge mutations (ToggleEdge, SetEdgeWeight,
+// AddEdge variants) into an internal journal readable via Journal. Vertex
+// mutations (AddVertex, SetVertexWeight) are not journaled; incremental
+// observers require a fixed vertex set, which is exactly the Definition 1.1
+// condition 1 the verifier's families guarantee.
+func (g *Graph) StartJournal() {
+	g.journalOn = true
+	g.journal = g.journal[:0]
+}
+
+// Journal returns the mutations recorded since the last ClearJournal (or
+// StartJournal). The slice is internal storage: read it, then ClearJournal.
+func (g *Graph) Journal() []EdgeDelta { return g.journal }
+
+// ClearJournal drops the recorded mutations while keeping recording on.
+func (g *Graph) ClearJournal() { g.journal = g.journal[:0] }
+
+// StopJournal stops recording and drops the journal.
+func (g *Graph) StopJournal() {
+	g.journalOn = false
+	g.journal = nil
+}
+
+// record logs one edge mutation into the journal and undo log.
+func (g *Graph) record(u, v int, w int64, add, logUndo bool) {
+	if !g.journalOn && !(g.undoOn && logUndo) {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	d := EdgeDelta{U: u, V: v, W: w, Add: add}
+	if g.journalOn {
+		g.journal = append(g.journal, d)
+	}
+	if g.undoOn && logUndo {
+		g.undo = append(g.undo, d)
+	}
+}
+
+// ToggleEdge adds the edge {u, v} with weight w if it is absent and removes
+// it (ignoring w) if it is present, reporting whether the edge is present
+// after the call. This is the verifier's delta primitive: unlike
+// AddEdge/SetEdgeWeight it keeps a patchable Freeze snapshot (see
+// FreezePatchable) valid by splicing the affected CSR windows in place,
+// O(deg) per endpoint, instead of discarding the snapshot.
+func (g *Graph) ToggleEdge(u, v int, w int64) (added bool, err error) {
+	return g.toggle(u, v, w, true)
+}
+
+func (g *Graph) toggle(u, v int, w int64, logUndo bool) (bool, error) {
+	if err := g.checkVertex(u); err != nil {
+		return false, err
+	}
+	if err := g.checkVertex(v); err != nil {
+		return false, err
+	}
+	if u == v {
+		return false, fmt.Errorf("self loop at vertex %d", u)
+	}
+	if i := halfIndex(g.adj[u], v); i >= 0 {
+		oldW := g.adj[u][i].Weight
+		g.removeHalf(u, i)
+		g.removeHalf(v, halfIndex(g.adj[v], u))
+		g.csr.Store(nil)
+		if g.patched != nil {
+			g.patched.spliceRemove(u, v)
+			g.patched.spliceRemove(v, u)
+			g.patched.edgesStale = true
+		}
+		g.record(u, v, oldW, false, logUndo)
+		return false, nil
+	}
+	g.adj[u] = append(g.adj[u], Half{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Half{To: u, Weight: w})
+	g.csr.Store(nil)
+	if g.patched != nil {
+		if !g.patched.spliceInsert(u, v, w) || !g.patched.spliceInsert(v, u, w) {
+			// A window ran out of slack: rebuild the patchable snapshot with
+			// doubled slack. Amortized O(1) per toggle — the verifier's walks
+			// revisit the same bounded degree range, so rebuilds stop once the
+			// peak degree has been seen.
+			g.patchSlack *= 2
+			g.patched = buildCSRSlack(g, g.patchSlack)
+		} else {
+			g.patched.edgesStale = true
+		}
+	}
+	g.record(u, v, w, true, logUndo)
+	return true, nil
+}
+
+// halfIndex returns the position of neighbor v in the adjacency list, or -1.
+func halfIndex(nbrs []Half, v int) int {
+	for i, h := range nbrs {
+		if h.To == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeHalf deletes entry i of u's adjacency list, preserving order.
+func (g *Graph) removeHalf(u, i int) {
+	nbrs := g.adj[u]
+	copy(nbrs[i:], nbrs[i+1:])
+	g.adj[u] = nbrs[:len(nbrs)-1]
+}
+
+// MarkBase records the current edge set as the base state: subsequent
+// ToggleEdge/SetEdgeWeight mutations are logged so Reset can replay them in
+// reverse. Calling MarkBase again moves the base to the current state.
+func (g *Graph) MarkBase() {
+	g.undoOn = true
+	g.undo = g.undo[:0]
+}
+
+// Reset restores the graph to the MarkBase state by undoing the logged
+// mutations most recent first — O(delta) work, not O(|V|+|E|) — keeping any
+// patchable snapshot valid and emitting the reverting mutations to the
+// journal so incremental observers stay consistent. It is a no-op without a
+// preceding MarkBase.
+func (g *Graph) Reset() error {
+	for i := len(g.undo) - 1; i >= 0; i-- {
+		d := g.undo[i]
+		nowPresent, err := g.toggle(d.U, d.V, d.W, false)
+		if err != nil {
+			return err
+		}
+		if nowPresent == d.Add {
+			return fmt.Errorf("reset out of sync at edge {%d,%d}", d.U, d.V)
+		}
+	}
+	g.undo = g.undo[:0]
+	return nil
+}
+
+// FreezePatchable returns a worker-private snapshot that ToggleEdge and
+// SetEdgeWeight keep valid by splicing windows in place, so steady-state
+// delta workloads never re-freeze. Windows carry slack capacity; an insert
+// overflowing its window triggers a one-off rebuild with doubled slack.
+// Unlike Freeze snapshots it is not safe for concurrent use, and mutators
+// other than ToggleEdge/SetEdgeWeight drop it.
+func (g *Graph) FreezePatchable() *CSR {
+	if g.patched == nil {
+		if g.patchSlack == 0 {
+			g.patchSlack = 4
+		}
+		g.patched = buildCSRSlack(g, g.patchSlack)
+	}
+	return g.patched
+}

@@ -40,6 +40,17 @@ type Graph struct {
 	// concurrent readers (e.g. parallel family verification workers that
 	// share a graph) may Freeze safely.
 	csr atomic.Pointer[CSR]
+
+	// patched is the worker-private FreezePatchable snapshot, spliced in
+	// place by ToggleEdge/SetEdgeWeight and dropped by other mutators.
+	patched    *CSR
+	patchSlack int
+
+	// journal/undo support the delta machinery in delta.go.
+	journal   []EdgeDelta
+	journalOn bool
+	undo      []EdgeDelta
+	undoOn    bool
 }
 
 // New returns an undirected graph with n isolated vertices, all of vertex
@@ -72,6 +83,7 @@ func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
 	g.vw = append(g.vw, 1)
 	g.csr.Store(nil)
+	g.patched = nil
 	return len(g.adj) - 1
 }
 
@@ -103,6 +115,8 @@ func (g *Graph) AddWeightedEdge(u, v int, w int64) error {
 	g.adj[u] = append(g.adj[u], Half{To: v, Weight: w})
 	g.adj[v] = append(g.adj[v], Half{To: u, Weight: w})
 	g.csr.Store(nil)
+	g.patched = nil
+	g.record(u, v, w, true, true)
 	return nil
 }
 
@@ -126,6 +140,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
 		return false
 	}
+	if g.patched != nil {
+		return g.patched.Rank(u, v) >= 0
+	}
 	if c := g.csr.Load(); c != nil {
 		return c.Rank(u, v) >= 0
 	}
@@ -146,6 +163,9 @@ func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
 	if u < 0 || u >= len(g.adj) {
 		return 0, false
 	}
+	if g.patched != nil {
+		return g.patched.EdgeWeight(u, v)
+	}
 	if c := g.csr.Load(); c != nil {
 		return c.EdgeWeight(u, v)
 	}
@@ -157,7 +177,9 @@ func (g *Graph) EdgeWeight(u, v int) (int64, bool) {
 	return 0, false
 }
 
-// SetEdgeWeight updates the weight of an existing edge {u, v}.
+// SetEdgeWeight updates the weight of an existing edge {u, v}. A patchable
+// Freeze snapshot (FreezePatchable) is updated in place, O(log deg); a
+// plain snapshot is discarded.
 func (g *Graph) SetEdgeWeight(u, v int, w int64) error {
 	if err := g.checkVertex(u); err != nil {
 		return err
@@ -165,22 +187,23 @@ func (g *Graph) SetEdgeWeight(u, v int, w int64) error {
 	if err := g.checkVertex(v); err != nil {
 		return err
 	}
-	found := false
-	for i, h := range g.adj[u] {
-		if h.To == v {
-			g.adj[u][i].Weight = w
-			found = true
-		}
-	}
-	for i, h := range g.adj[v] {
-		if h.To == u {
-			g.adj[v][i].Weight = w
-		}
-	}
-	if !found {
+	i := halfIndex(g.adj[u], v)
+	if i < 0 {
 		return fmt.Errorf("edge {%d,%d} not found", u, v)
 	}
+	oldW := g.adj[u][i].Weight
+	g.adj[u][i].Weight = w
+	g.adj[v][halfIndex(g.adj[v], u)].Weight = w
 	g.csr.Store(nil)
+	if g.patched != nil {
+		g.patched.setWeight(u, v, w)
+		g.patched.setWeight(v, u, w)
+		g.patched.edgesStale = true
+	}
+	if oldW != w {
+		g.record(u, v, oldW, false, true)
+		g.record(u, v, w, true, true)
+	}
 	return nil
 }
 
@@ -250,8 +273,11 @@ func (g *Graph) TotalEdgeWeight() int64 {
 // Edges returns all edges in canonical (U < V) form, sorted by (U, V). On a
 // frozen graph the list is copied from the CSR snapshot without sorting.
 func (g *Graph) Edges() []Edge {
+	if g.patched != nil {
+		return append([]Edge(nil), g.patched.Edges()...)
+	}
 	if c := g.csr.Load(); c != nil {
-		return append([]Edge(nil), c.edges...)
+		return append([]Edge(nil), c.Edges()...)
 	}
 	edges := make([]Edge, 0, g.M())
 	for u, nbrs := range g.adj {

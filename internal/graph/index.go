@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // CSR is an immutable compressed-sparse-row snapshot of a graph's
 // adjacency: per-vertex neighbor windows sorted by neighbor id, plus the
@@ -14,10 +17,25 @@ import "sort"
 // on the next call). The snapshot itself is never mutated, so it is safe
 // for concurrent readers.
 type CSR struct {
-	offsets []int32 // len n+1; vertex v's window is [offsets[v], offsets[v+1])
+	offsets []int32 // len n+1; vertex v's window starts at offsets[v]
+	ends    []int32 // window ends; nil for dense snapshots (end = offsets[v+1])
 	nbr     []int32 // neighbor ids, sorted within each window
 	wt      []int64 // edge weights, parallel to nbr
 	edges   []Edge  // canonical (U < V) edge list, sorted by (U, V)
+
+	// edgesStale marks a patchable snapshot whose canonical edge list has
+	// not been rebuilt since the last window splice; Edges rebuilds lazily.
+	edgesStale bool
+}
+
+// end returns the exclusive end of v's window. Dense snapshots (Freeze)
+// pack windows back to back; patchable snapshots (FreezePatchable) leave
+// slack between ends[v] and offsets[v+1] so ToggleEdge can splice in place.
+func (c *CSR) end(v int) int32 {
+	if c.ends != nil {
+		return c.ends[v]
+	}
+	return c.offsets[v+1]
 }
 
 // Freeze returns the CSR snapshot of g, building and caching it on first
@@ -33,12 +51,33 @@ func (g *Graph) Freeze() *CSR {
 }
 
 func buildCSR(g *Graph) *CSR {
+	c := fillCSR(&CSR{}, g, 0)
+	c.rebuildEdges()
+	return c
+}
+
+// buildCSRSlack builds a patchable snapshot: every window gets slack spare
+// slots so in-place insertion does not overflow immediately. The canonical
+// edge list is left stale and rebuilt lazily by Edges.
+func buildCSRSlack(g *Graph, slack int) *CSR {
+	c := fillCSR(&CSR{}, g, slack)
+	c.edgesStale = true
+	return c
+}
+
+func fillCSR(c *CSR, g *Graph, slack int) *CSR {
 	n := len(g.adj)
-	c := &CSR{offsets: make([]int32, n+1)}
+	c.offsets = make([]int32, n+1)
 	total := 0
 	for v, nbrs := range g.adj {
-		total += len(nbrs)
+		total += len(nbrs) + slack
 		c.offsets[v+1] = int32(total)
+	}
+	if slack > 0 {
+		c.ends = make([]int32, n)
+		for v, nbrs := range g.adj {
+			c.ends[v] = c.offsets[v] + int32(len(nbrs))
+		}
 	}
 	c.nbr = make([]int32, total)
 	c.wt = make([]int64, total)
@@ -51,15 +90,71 @@ func buildCSR(g *Graph) *CSR {
 		window := csrWindow{nbr: c.nbr[base : base+len(nbrs)], wt: c.wt[base : base+len(nbrs)]}
 		sort.Sort(window)
 	}
-	c.edges = make([]Edge, 0, total/2)
-	for v := 0; v < n; v++ {
-		for i := c.offsets[v]; i < c.offsets[v+1]; i++ {
+	return c
+}
+
+// rebuildEdges regenerates the canonical sorted edge list from the sorted
+// windows (no extra sort needed).
+func (c *CSR) rebuildEdges() {
+	c.edges = c.edges[:0]
+	if c.edges == nil {
+		c.edges = make([]Edge, 0, len(c.nbr)/2)
+	}
+	for v := 0; v < c.N(); v++ {
+		for i := c.offsets[v]; i < c.end(v); i++ {
 			if to := int(c.nbr[i]); v < to {
 				c.edges = append(c.edges, Edge{U: v, V: to, Weight: c.wt[i]})
 			}
 		}
 	}
-	return c
+	c.edgesStale = false
+}
+
+// spliceInsert inserts v into u's sorted window in place, O(deg). It
+// reports false when the window has no slack left (caller rebuilds).
+func (c *CSR) spliceInsert(u, v int, w int64) bool {
+	lo, hi := c.offsets[u], c.ends[u]
+	if hi == c.offsets[u+1] {
+		return false
+	}
+	target := int32(v)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.nbr[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	end := c.ends[u]
+	copy(c.nbr[lo+1:end+1], c.nbr[lo:end])
+	copy(c.wt[lo+1:end+1], c.wt[lo:end])
+	c.nbr[lo] = target
+	c.wt[lo] = w
+	c.ends[u] = end + 1
+	return true
+}
+
+// spliceRemove removes v from u's sorted window in place, O(deg).
+func (c *CSR) spliceRemove(u, v int) {
+	r := c.Rank(u, v)
+	if r < 0 {
+		panic(fmt.Sprintf("graph: patchable snapshot missing edge {%d,%d}", u, v))
+	}
+	pos := c.offsets[u] + int32(r)
+	end := c.ends[u]
+	copy(c.nbr[pos:end-1], c.nbr[pos+1:end])
+	copy(c.wt[pos:end-1], c.wt[pos+1:end])
+	c.ends[u] = end - 1
+}
+
+// setWeight updates the stored weight of the directed slot u -> v.
+func (c *CSR) setWeight(u, v int, w int64) {
+	r := c.Rank(u, v)
+	if r < 0 {
+		panic(fmt.Sprintf("graph: patchable snapshot missing edge {%d,%d}", u, v))
+	}
+	c.wt[c.offsets[u]+int32(r)] = w
 }
 
 type csrWindow struct {
@@ -78,19 +173,19 @@ func (w csrWindow) Swap(i, j int) {
 func (c *CSR) N() int { return len(c.offsets) - 1 }
 
 // Degree returns the degree of v.
-func (c *CSR) Degree(v int) int { return int(c.offsets[v+1] - c.offsets[v]) }
+func (c *CSR) Degree(v int) int { return int(c.end(v) - c.offsets[v]) }
 
 // Window returns v's neighbor ids and edge weights, sorted by neighbor id.
 // Both slices are the snapshot's internal storage and must not be modified.
 func (c *CSR) Window(v int) ([]int32, []int64) {
-	return c.nbr[c.offsets[v]:c.offsets[v+1]], c.wt[c.offsets[v]:c.offsets[v+1]]
+	return c.nbr[c.offsets[v]:c.end(v)], c.wt[c.offsets[v]:c.end(v)]
 }
 
 // Rank returns the position of v within u's sorted neighbor window, or -1
 // if the edge {u, v} does not exist. offsets[u] + Rank(u, v) is the global
 // slot of the directed edge u -> v.
 func (c *CSR) Rank(u, v int) int {
-	lo, hi := c.offsets[u], c.offsets[u+1]
+	lo, hi := c.offsets[u], c.end(u)
 	target := int32(v)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -142,47 +237,83 @@ func (c *CSR) EdgeWeight(u, v int) (int64, bool) {
 	return c.wt[c.offsets[u]+int32(r)], true
 }
 
-// Edges returns the canonical sorted edge list. The slice is the
-// snapshot's internal storage and must not be modified.
-func (c *CSR) Edges() []Edge { return c.edges }
+// Edges returns the canonical sorted edge list, rebuilding it first on a
+// patchable snapshot whose windows were spliced since the last call. The
+// slice is the snapshot's internal storage and must not be modified.
+func (c *CSR) Edges() []Edge {
+	if c.edgesStale {
+		c.rebuildEdges()
+	}
+	return c.edges
+}
 
-// 64-bit FNV-1a, mixed one uint64 at a time. The structural hashes below
-// replace the string signatures previously used by the lower-bound-family
-// verifier: instead of rendering a canonical description and comparing
-// strings, the same canonical content is folded into a 64-bit hash.
+// The structural hashes below are XOR-folds of per-element 64-bit hashes:
+// each labeled weighted edge (or vertex, or arc) is mixed through a
+// splitmix64 finalizer and the element hashes are XORed together. XOR makes
+// the fold order-free and — crucially for the delta-driven verifier —
+// invertible: adding or removing an element updates the fold with a single
+// XOR, so the hash of G ± one edge costs O(1) given the hash of G.
+// Two graphs agree iff their element multisets agree (up to hash
+// collision, ~2^-64; elements within one graph are distinct by
+// construction, so the multiset is a set).
 const (
-	fnvOffset64 = 14695981039346656037
-	fnvPrime64  = 1099511628211
+	edgeSeed   = 0x9e3779b97f4a7c15
+	vertexSeed = 0xd1b54a32d192ed03
+	arcSeed    = 0x8bb84b93962eacc9
 )
 
-func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
-		v >>= 8
+// mix64 is the splitmix64 finalizer: a cheap 64-bit permutation with full
+// avalanche, so XOR-folding element hashes does not cancel structure.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// EdgeHash returns the element hash of the labeled weighted undirected edge
+// {u, v} — the unit the XOR-fold structural hashes are built from. It is
+// exported so incremental observers (the lower-bound-family verifier) can
+// maintain CutHash/HashWithin values in O(1) per edge delta.
+func EdgeHash(u, v int, w int64) uint64 {
+	if u > v {
+		u, v = v, u
 	}
-	return h
+	return mix64(mix64(mix64(uint64(u)^edgeSeed)+uint64(v)) + uint64(w))
+}
+
+func vertexHash(v int, w int64) uint64 {
+	return mix64(mix64(uint64(v)^vertexSeed) + uint64(w))
+}
+
+// ArcHash is the directed analogue of EdgeHash (direction is significant).
+func ArcHash(from, to int, w int64) uint64 {
+	return mix64(mix64(mix64(uint64(from)^arcSeed)+uint64(to)) + uint64(w))
 }
 
 // HashWithin returns a 64-bit structural hash of the subgraph induced by
 // the vertex set marked by within — the hashed analogue of
 // SignatureWithin: vertex ids and weights of the marked vertices plus the
-// canonical edge list among them. Two calls agree iff the induced labeled
-// weighted subgraphs are identical (up to hash collision, ~2^-64).
+// canonical edge list among them. It iterates the adjacency directly (no
+// Freeze needed), and the XOR-fold form means the value can alternatively
+// be maintained incrementally via EdgeHash as edges toggle.
 func (g *Graph) HashWithin(within []bool) uint64 {
-	h := uint64(fnvOffset64)
+	h := uint64(0)
 	for v, w := range g.vw {
 		if within[v] {
-			h = fnvMix(h, uint64(v))
-			h = fnvMix(h, uint64(w))
+			h ^= vertexHash(v, w)
 		}
 	}
-	h = fnvMix(h, 0xffffffffffffffff) // separator between vertex and edge sections
-	for _, e := range g.Freeze().Edges() {
-		if within[e.U] && within[e.V] {
-			h = fnvMix(h, uint64(e.U))
-			h = fnvMix(h, uint64(e.V))
-			h = fnvMix(h, uint64(e.Weight))
+	for u, nbrs := range g.adj {
+		if !within[u] {
+			continue
+		}
+		for _, half := range nbrs {
+			if u < half.To && within[half.To] {
+				h ^= EdgeHash(u, half.To, half.Weight)
+			}
 		}
 	}
 	return h
@@ -190,14 +321,14 @@ func (g *Graph) HashWithin(within []bool) uint64 {
 
 // CutHash returns a 64-bit hash of the canonical cut edge list (the edges
 // with exactly one endpoint in side, with weights) — the hashed analogue
-// of rendering CutEdges to a string.
+// of rendering CutEdges to a string, maintainable in O(1) per edge delta.
 func (g *Graph) CutHash(side []bool) uint64 {
-	h := uint64(fnvOffset64)
-	for _, e := range g.Freeze().Edges() {
-		if side[e.U] != side[e.V] {
-			h = fnvMix(h, uint64(e.U))
-			h = fnvMix(h, uint64(e.V))
-			h = fnvMix(h, uint64(e.Weight))
+	h := uint64(0)
+	for u, nbrs := range g.adj {
+		for _, half := range nbrs {
+			if u < half.To && side[u] != side[half.To] {
+				h ^= EdgeHash(u, half.To, half.Weight)
+			}
 		}
 	}
 	return h
@@ -206,19 +337,15 @@ func (g *Graph) CutHash(side []bool) uint64 {
 // HashWithin is the directed analogue of Graph.HashWithin: vertex ids and
 // weights of the marked vertices plus the canonical arc list among them.
 func (d *Digraph) HashWithin(within []bool) uint64 {
-	h := uint64(fnvOffset64)
+	h := uint64(0)
 	for v, w := range d.vw {
 		if within[v] {
-			h = fnvMix(h, uint64(v))
-			h = fnvMix(h, uint64(w))
+			h ^= vertexHash(v, w)
 		}
 	}
-	h = fnvMix(h, 0xffffffffffffffff)
 	for _, a := range d.Arcs() {
 		if within[a.From] && within[a.To] {
-			h = fnvMix(h, uint64(a.From))
-			h = fnvMix(h, uint64(a.To))
-			h = fnvMix(h, uint64(a.Weight))
+			h ^= ArcHash(a.From, a.To, a.Weight)
 		}
 	}
 	return h
@@ -227,12 +354,10 @@ func (d *Digraph) HashWithin(within []bool) uint64 {
 // CutHash returns a 64-bit hash of the canonical list of arcs crossing the
 // side partition (either direction, with weights).
 func (d *Digraph) CutHash(side []bool) uint64 {
-	h := uint64(fnvOffset64)
+	h := uint64(0)
 	for _, a := range d.Arcs() {
 		if side[a.From] != side[a.To] {
-			h = fnvMix(h, uint64(a.From))
-			h = fnvMix(h, uint64(a.To))
-			h = fnvMix(h, uint64(a.Weight))
+			h ^= ArcHash(a.From, a.To, a.Weight)
 		}
 	}
 	return h

@@ -1,0 +1,51 @@
+package lbfamily
+
+import (
+	"fmt"
+
+	"congesthard/internal/comm"
+)
+
+// OutcomeForTest is the exported projection of a pairOutcome, so external
+// differential tests can compare the delta and rebuild phase-1 paths
+// pair for pair.
+type OutcomeForTest struct {
+	N                     int
+	CutHash, AHash, BHash uint64
+	Got                   bool
+	BuildErr, PredErr     error
+}
+
+// CollectOutcomesForTest runs verification phase 1 over xs × ys — in
+// delta-with-fallback mode (forceRebuild = false) or forced rebuild mode —
+// and returns the row-major outcomes plus whether the delta path produced
+// them.
+func CollectOutcomesForTest(fam Family, xs, ys []comm.Bits, forceRebuild bool) ([]OutcomeForTest, bool, error) {
+	side, err := familySide(fam)
+	if err != nil {
+		return nil, false, err
+	}
+	outcomes, delta := collectOutcomes(fam, side, xs, ys, forceRebuild)
+	views := make([]OutcomeForTest, len(outcomes))
+	for i, o := range outcomes {
+		views[i] = OutcomeForTest{
+			N: o.n, CutHash: o.cutHash, AHash: o.aHash, BHash: o.bHash,
+			Got: o.got, BuildErr: o.buildErr, PredErr: o.predErr,
+		}
+	}
+	return views, delta, nil
+}
+
+// VerifyRebuild is Verify with the delta path disabled; differential tests
+// compare its first error byte for byte against the delta path's.
+func VerifyRebuild(fam Family) error {
+	k := fam.K()
+	if k > 12 {
+		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampled)", k)
+	}
+	inputs := make([]comm.Bits, 0, 1<<uint(k))
+	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
+		return err
+	}
+	return verifyOverMode(fam, inputs, inputs, true)
+}

@@ -6,6 +6,10 @@
 //   - Verify checks conditions 1-4 of Definition 1.1 exhaustively (all
 //     2^K x 2^K input pairs) using an exact solver as the predicate oracle;
 //     VerifySampled spot-checks larger parameters.
+//   - Families whose instances are a fixed skeleton plus O(1) edges per
+//     input bit can opt into DeltaFamily: verification then walks the input
+//     cube in Gray-code order and pays O(delta) per pair instead of
+//     rebuilding, re-freezing and re-hashing every G_{x,y} from scratch.
 //   - ImpliedLowerBound evaluates the Theorem 1.1 round bound
 //     Ω(CC(f) / (|E_cut| log n)) from the measured family parameters.
 //   - SimulateTwoParty runs a CONGEST algorithm on G_{x,y} with the cut
@@ -42,6 +46,54 @@ type Family interface {
 	// Predicate decides P exactly (it may be expensive; it is the
 	// verification oracle, not part of the construction).
 	Predicate(g *graph.Graph) (bool, error)
+}
+
+// Input-bit owners for DeltaFamily.ApplyBit.
+const (
+	// PlayerX marks a bit of Alice's input x.
+	PlayerX = 0
+	// PlayerY marks a bit of Bob's input y.
+	PlayerY = 1
+)
+
+// DeltaFamily is the incremental-construction extension of Family for
+// "pure bit gadget" constructions: G_{x,y} is a fixed skeleton (BuildBase,
+// the all-zeros instance G_{0,0}) plus a bounded set of edges attached to
+// each input bit. ApplyBit toggles exactly those edges, so the exhaustive
+// verifier can walk the 2^(2K) input pairs in Gray-code order and update
+// one instance graph in O(delta) per pair.
+//
+// Contract: ApplyBit(g, player, bit, val) transforms the instance graph of
+// an input whose (player, bit) is !val into the instance graph where it is
+// val, mutating edges only (no vertex additions or vertex-weight changes)
+// and only through ToggleEdge/SetEdgeWeight, so the graph's mutation
+// journal captures the delta. Before taking the delta path, Verify
+// spot-checks the surface: BuildBase plus ApplyBit over every bit must
+// reproduce Build's all-ones instance hash-for-hash, else it falls back
+// to rebuilding every pair. Exhaustive pair-for-pair agreement of the two
+// paths is asserted by the package's differential tests for the in-repo
+// families.
+type DeltaFamily interface {
+	Family
+	// BuildBase constructs the all-zeros instance G_{0,0}.
+	BuildBase() (*graph.Graph, error)
+	// ApplyBit applies the change of one input bit to val.
+	ApplyBit(g *graph.Graph, player, bit int, val bool) error
+}
+
+// PredicateOracle is a reusable predicate evaluator (typically wrapping an
+// arena-backed solver oracle) that a verification worker holds across many
+// pairs so predicate evaluation stops paying per-call allocation.
+type PredicateOracle interface {
+	Eval(g *graph.Graph) (bool, error)
+}
+
+// OracleFamily is implemented by families whose predicate can be evaluated
+// through a reusable per-worker oracle. NewPredicateOracle must return an
+// oracle whose verdicts (and errors) match Predicate exactly.
+type OracleFamily interface {
+	Family
+	NewPredicateOracle() PredicateOracle
 }
 
 // DigraphFamily is the directed-graph analogue of Family, used by the
@@ -105,6 +157,12 @@ func ImpliedLowerBound(stats Stats, f comm.Function) (float64, error) {
 //  2. for fixed y, varying x changes nothing in G[V_B] nor the cut;
 //  3. symmetrically for x;
 //  4. Predicate(G_{x,y}) == f(x, y) for every pair.
+//
+// Families implementing DeltaFamily are verified delta-driven: each worker
+// walks its column shard in Gray-code order over x for fixed y, toggling
+// only the changed bit's edges between pairs. Everything observable — the
+// checks, the first-error choice and its message — is identical to the
+// rebuild-every-pair path, which remains the transparent fallback.
 func Verify(fam Family) error {
 	k := fam.K()
 	if k > 12 {
@@ -114,12 +172,14 @@ func Verify(fam Family) error {
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyOver(fam, inputs, inputs, true)
+	return verifyOverMode(fam, inputs, inputs, false)
 }
 
-// VerifySampled checks Definition 1.1 on trials random input pairs plus the
-// all-zeros and all-ones corners. Structural conditions (1-3) are checked
-// pairwise across the sample.
+// VerifySampled checks Definition 1.1 on up to trials distinct random
+// input pairs plus the all-zeros and all-ones corners (random draws are
+// deduplicated — a repeated string would only re-run identical predicate
+// evaluations). Structural conditions (1-3) are checked pairwise across
+// the sample.
 func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 	k := fam.K()
 	ones := comm.NewBits(k)
@@ -127,10 +187,15 @@ func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 		ones.Set(i, true)
 	}
 	inputs := []comm.Bits{comm.NewBits(k), ones}
+	seen := map[string]bool{inputs[0].String(): true, ones.String(): true}
 	for i := 0; i < trials; i++ {
-		inputs = append(inputs, comm.RandomBits(k, rng))
+		b := comm.RandomBits(k, rng)
+		if key := b.String(); !seen[key] {
+			seen[key] = true
+			inputs = append(inputs, b)
+		}
 	}
-	return verifyOver(fam, inputs, inputs, false)
+	return verifyOverMode(fam, inputs, inputs, false)
 }
 
 // pairOutcome is the per-(x, y) result computed by a verification worker:
@@ -192,22 +257,45 @@ func computePairs(total int, compute func(idx int64, out *pairOutcome) bool) []p
 	return outcomes
 }
 
-func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
-	side := fam.AliceSide()
+func verifyOverMode(fam Family, xs, ys []comm.Bits, forceRebuild bool) error {
+	side, err := familySide(fam)
+	if err != nil {
+		return fmt.Errorf("alice side: %w", err)
+	}
+	if len(xs)*len(ys) == 0 {
+		return nil
+	}
+	outcomes, _ := collectOutcomes(fam, side, xs, ys, forceRebuild)
+	return scanOutcomes(fam, side, xs, ys, outcomes)
+}
+
+// familySide returns the family's Alice side, surfacing the underlying
+// build error for families (DerivedFamily) that must build an instance to
+// learn their partition.
+func familySide(fam Family) ([]bool, error) {
+	if checked, ok := fam.(interface{ AliceSideChecked() ([]bool, error) }); ok {
+		return checked.AliceSideChecked()
+	}
+	return fam.AliceSide(), nil
+}
+
+// collectOutcomes is verification phase 1: it computes every pair's
+// outcome, delta-driven when the family opts in (and the delta machinery
+// encounters no unexpected failure), rebuilding every instance otherwise.
+// The second return reports whether the delta path produced the outcomes.
+func collectOutcomes(fam Family, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, bool) {
 	bobSide := make([]bool, len(side))
 	for i, a := range side {
 		bobSide[i] = !a
 	}
-	f := fam.Func()
-	total := len(xs) * len(ys)
-	if total == 0 {
-		return nil
+	if !forceRebuild {
+		if df, ok := fam.(DeltaFamily); ok {
+			if outcomes, ok := computePairsDelta(df, side, bobSide, xs, ys); ok {
+				return outcomes, true
+			}
+		}
 	}
-
-	// Phase 1: build every G_{x,y}, hash its structure and evaluate the
-	// predicate, sharded across a worker pool. Workers never decide
-	// violations — they only record outcomes — so the error reported below
-	// is deterministic regardless of scheduling.
+	total := len(xs) * len(ys)
 	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
 		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
 		g, err := fam.Build(x, y)
@@ -227,9 +315,190 @@ func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
 		out.got, out.predErr = fam.Predicate(g)
 		return out.predErr == nil
 	})
+	return outcomes, false
+}
 
-	// Phase 2: serial row-major scan, identical in order and messages to
-	// the historical serial verifier.
+// computePairsDelta is the delta-driven phase 1: each worker owns one
+// mutable instance graph built once from BuildBase, claims columns (fixed
+// y) and walks x across each column in Gray-code order, applying only the
+// changed bits through ApplyBit and folding the journaled edge deltas into
+// incrementally maintained cut/side hashes. Any unexpected failure of the
+// delta machinery (base build or ApplyBit error) reports ok = false and
+// the caller transparently falls back to the rebuild path, whose error
+// reporting is the historical reference.
+func computePairsDelta(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, bool) {
+	if !deltaSurfaceConsistent(df, side, bobSide) {
+		return nil, false
+	}
+	total := len(xs) * len(ys)
+	order := walkOrder(xs, df.K())
+	outcomes := make([]pairOutcome, total)
+	var nextCol, minErr atomic.Int64
+	minErr.Store(int64(total))
+	ok := atomic.Bool{}
+	ok.Store(true)
+	var wg sync.WaitGroup
+	for w := verifyWorkers(len(ys)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !deltaWorker(df, side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr) {
+				ok.Store(false)
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, ok.Load()
+}
+
+// deltaSurfaceConsistent spot-checks the DeltaFamily contract before the
+// delta path is trusted: BuildBase plus ApplyBit(val = true) over every
+// bit of both players must reproduce Build's all-ones instance — same
+// vertex count, same cut hash, same induced-side hashes. This exercises
+// every bit's attached edges once for the cost of two builds; a family
+// whose ApplyBit disagrees with Build falls back to the rebuild path (as
+// does a family whose base build fails, so the rebuild path reports its
+// historical error).
+func deltaSurfaceConsistent(df DeltaFamily, side, bobSide []bool) bool {
+	k := df.K()
+	ones := comm.NewBits(k)
+	for i := 0; i < k; i++ {
+		ones.Set(i, true)
+	}
+	want, err := df.Build(ones, ones)
+	if err != nil || want == nil || want.N() != len(side) {
+		return false
+	}
+	g, err := df.BuildBase()
+	if err != nil || g == nil || g.N() != len(side) {
+		return false
+	}
+	for _, player := range [2]int{PlayerX, PlayerY} {
+		for i := 0; i < k; i++ {
+			if err := df.ApplyBit(g, player, i, true); err != nil {
+				return false
+			}
+		}
+	}
+	return g.CutHash(side) == want.CutHash(side) &&
+		g.HashWithin(side) == want.HashWithin(side) &&
+		g.HashWithin(bobSide) == want.HashWithin(bobSide)
+}
+
+// deltaWorker claims columns until none remain. It reports false when the
+// delta machinery itself failed and the caller must fall back.
+func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr *atomic.Int64) bool {
+	k := df.K()
+	g, err := df.BuildBase()
+	if err != nil || g == nil || g.N() != len(side) {
+		return false
+	}
+	g.FreezePatchable()
+	g.StartJournal()
+	curX, curY := comm.NewBits(k), comm.NewBits(k)
+	cutH := g.CutHash(side)
+	aH := g.HashWithin(side)
+	bH := g.HashWithin(bobSide)
+	n := g.N()
+	eval := df.Predicate
+	if of, ok := Family(df).(OracleFamily); ok {
+		eval = of.NewPredicateOracle().Eval
+	}
+
+	// applyDiff toggles the bits on which cur and target differ and folds
+	// the journaled edge deltas into the three running hashes: O(1) per
+	// toggled edge, versus the O(|V|+|E|) rebuild-freeze-rehash per pair of
+	// the fallback path.
+	applyDiff := func(player int, cur, target comm.Bits) error {
+		var applyErr error
+		cur.ForEachDiff(target, func(i int) bool {
+			if err := df.ApplyBit(g, player, i, target.Get(i)); err != nil {
+				applyErr = err
+				return false
+			}
+			cur.Set(i, target.Get(i))
+			return true
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		for _, d := range g.Journal() {
+			h := graph.EdgeHash(d.U, d.V, d.W)
+			switch {
+			case side[d.U] != side[d.V]:
+				cutH ^= h
+			case side[d.U]:
+				aH ^= h
+			default:
+				bH ^= h
+			}
+		}
+		g.ClearJournal()
+		return nil
+	}
+
+	for {
+		yi := int(nextCol.Add(1) - 1)
+		if yi >= len(ys) {
+			return true
+		}
+		if err := applyDiff(PlayerY, curY, ys[yi]); err != nil {
+			return false
+		}
+		for _, xi := range order {
+			if err := applyDiff(PlayerX, curX, xs[xi]); err != nil {
+				return false
+			}
+			idx := int64(xi)*int64(len(ys)) + int64(yi)
+			out := &outcomes[idx]
+			out.n = n
+			out.cutHash, out.aHash, out.bHash = cutH, aH, bH
+			if idx > minErr.Load() {
+				continue // a pair earlier in row-major order already failed
+			}
+			out.got, out.predErr = eval(g)
+			if out.predErr != nil {
+				storeMin(minErr, idx)
+			}
+		}
+	}
+}
+
+// walkOrder returns the sequence of xs indices a delta worker visits per
+// column. When xs is the canonical AllBits enumeration (xs[i] encodes the
+// integer i), the reflected Gray code i XOR i>>1 visits every input with
+// exactly one bit toggled between consecutive visits; otherwise (sampled
+// verification) the sample order is kept and each step toggles the
+// Hamming distance between consecutive samples.
+func walkOrder(xs []comm.Bits, k int) []int {
+	order := make([]int, len(xs))
+	if k <= 24 && len(xs) == 1<<uint(k) && canonicalCube(xs, k) {
+		for s := range order {
+			order[s] = s ^ (s >> 1)
+		}
+		return order
+	}
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// canonicalCube reports whether xs[i] encodes the integer i for all i.
+func canonicalCube(xs []comm.Bits, k int) bool {
+	for i, x := range xs {
+		want, err := comm.BitsFromUint64(k, uint64(i))
+		if err != nil || !x.Equal(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanOutcomes is verification phase 2: the serial row-major scan,
+// identical in order and messages to the historical serial verifier.
+func scanOutcomes(fam Family, side []bool, xs, ys []comm.Bits, outcomes []pairOutcome) error {
+	f := fam.Func()
 	wantN := -1
 	var cutHash uint64
 	cutSeen := false
@@ -275,7 +544,6 @@ func verifyOver(fam Family, xs, ys []comm.Bits, exhaustive bool) error {
 			}
 		}
 	}
-	_ = exhaustive
 	return nil
 }
 
@@ -320,8 +588,11 @@ type DerivedFamily struct {
 	// F overrides the function; nil keeps the inner family's function.
 	F comm.Function
 
-	mu         sync.Mutex // guards cachedSide (Build runs on verify workers)
+	// The derived side is input-oblivious, so it is learned exactly once
+	// from the all-zeros instance.
+	sideOnce   sync.Once
 	cachedSide []bool
+	sideErr    error
 }
 
 var _ Family = (*DerivedFamily)(nil)
@@ -346,31 +617,39 @@ func (d *DerivedFamily) Build(x, y comm.Bits) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, side, err := d.Transform(g, d.Inner.AliceSide())
+	out, _, err := d.Transform(g, d.Inner.AliceSide())
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	d.cachedSide = side
-	d.mu.Unlock()
 	return out, nil
 }
 
-// AliceSide returns the derived partition (building the zero instance if
-// needed to learn it).
-func (d *DerivedFamily) AliceSide() []bool {
-	d.mu.Lock()
-	side := d.cachedSide
-	d.mu.Unlock()
-	if side == nil {
+// AliceSideChecked returns the derived partition, building the all-zeros
+// instance once (guarded by sync.Once) to learn it, and surfaces the build
+// or transform error instead of silently returning nil.
+func (d *DerivedFamily) AliceSideChecked() ([]bool, error) {
+	d.sideOnce.Do(func() {
 		zero := comm.NewBits(d.K())
-		if _, err := d.Build(zero, zero); err != nil {
-			return nil
+		g, err := d.Inner.Build(zero, zero)
+		if err != nil {
+			d.sideErr = err
+			return
 		}
-		d.mu.Lock()
-		side = d.cachedSide
-		d.mu.Unlock()
-	}
+		_, side, err := d.Transform(g, d.Inner.AliceSide())
+		if err != nil {
+			d.sideErr = err
+			return
+		}
+		d.cachedSide = side
+	})
+	return d.cachedSide, d.sideErr
+}
+
+// AliceSide returns the derived partition (building the zero instance once
+// if needed to learn it); nil if that build fails — use AliceSideChecked
+// for the error.
+func (d *DerivedFamily) AliceSide() []bool {
+	side, _ := d.AliceSideChecked()
 	return side
 }
 

@@ -17,6 +17,66 @@ import (
 // This handles both the clique-heavy gap constructions of Section 4 and
 // the sparse bounded-degree graphs of Section 3 at useful sizes.
 func MaxWeightIndependentSet(g *graph.Graph) (int64, []int, error) {
+	w, set, err := new(MaxISOracle).MaxWeightIndependentSet(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	return w, append([]int(nil), set...), nil
+}
+
+// MaxISOracle is a reusable exact MaxIS evaluator: it owns the adjacency
+// bitsets, per-depth branch bitsets and witness buffers of the search, so a
+// worker holding one across many same-size graphs allocates only on the
+// rare low-degree-residual DP path. The zero value is ready to use. Not
+// safe for concurrent use.
+type MaxISOracle struct {
+	g       *graph.Graph
+	n       int
+	capN    int
+	adj     []bitset
+	weights []int64
+	alive   bitset
+	branch  [][2]bitset // per-depth include/exclude clones
+	visited bitset
+	best    int64
+	bestSet []int
+	current []int
+}
+
+func (o *MaxISOracle) grow(n int) {
+	o.n = n
+	if o.capN >= n {
+		return
+	}
+	o.capN = n
+	o.adj = make([]bitset, n)
+	for v := range o.adj {
+		o.adj[v] = newBitset(n)
+	}
+	o.weights = make([]int64, n)
+	o.alive = newBitset(n)
+	o.branch = make([][2]bitset, n+1)
+	o.visited = newBitset(n)
+	o.bestSet = make([]int, 0, n)
+	o.current = make([]int, 0, n)
+}
+
+// MaxWeightIndependentSet is the arena-backed equivalent of the package
+// function. The returned set aliases the oracle's storage and is only
+// valid until the next call.
+func (o *MaxISOracle) MaxWeightIndependentSet(g *graph.Graph) (int64, []int, error) {
+	return o.run(g, false)
+}
+
+// MaxIndependentSetSize returns alpha(G) with unit weights regardless of
+// g's vertex weights (without the package function's defensive clone). The
+// returned set aliases the oracle's storage.
+func (o *MaxISOracle) MaxIndependentSetSize(g *graph.Graph) (int, []int, error) {
+	w, set, err := o.run(g, true)
+	return int(w), set, err
+}
+
+func (o *MaxISOracle) run(g *graph.Graph, unit bool) (int64, []int, error) {
 	n := g.N()
 	if n > 1<<15 {
 		return 0, nil, fmt.Errorf("exact MaxIS limited to %d vertices, got %d", 1<<15, n)
@@ -24,55 +84,64 @@ func MaxWeightIndependentSet(g *graph.Graph) (int64, []int, error) {
 	if n == 0 {
 		return 0, []int{}, nil
 	}
-	for v := 0; v < n; v++ {
-		if g.VertexWeight(v) < 0 {
-			return 0, nil, fmt.Errorf("vertex %d has negative weight", v)
+	if !unit {
+		for v := 0; v < n; v++ {
+			if g.VertexWeight(v) < 0 {
+				return 0, nil, fmt.Errorf("vertex %d has negative weight", v)
+			}
 		}
 	}
-	s := &misSearch{g: g, n: n}
-	s.adj = make([]bitset, n)
-	s.weights = make([]int64, n)
-	for v := 0; v < n; v++ {
-		s.adj[v] = newBitset(n)
-		for _, h := range g.Neighbors(v) {
-			s.adj[v].set(h.To)
-		}
-		s.weights[v] = g.VertexWeight(v)
+	o.grow(n)
+	o.g = g
+	for i := range o.alive {
+		o.alive[i] = 0
 	}
-	alive := newBitset(n)
 	var total int64
 	for v := 0; v < n; v++ {
-		alive.set(v)
-		total += s.weights[v]
+		b := o.adj[v]
+		for i := range b {
+			b[i] = 0
+		}
+		for _, h := range g.Neighbors(v) {
+			b.set(h.To)
+		}
+		if unit {
+			o.weights[v] = 1
+		} else {
+			o.weights[v] = g.VertexWeight(v)
+		}
+		o.alive.set(v)
+		total += o.weights[v]
 	}
-	s.best = -1
-	s.current = make([]int, 0, n)
-	s.recurse(alive, total, 0)
-	sort.Ints(s.bestSet)
-	return s.best, s.bestSet, nil
+	o.best = -1
+	o.bestSet = o.bestSet[:0]
+	o.current = o.current[:0]
+	o.recurse(o.alive, total, 0, 0)
+	sort.Ints(o.bestSet)
+	return o.best, o.bestSet, nil
 }
 
-type misSearch struct {
-	g       *graph.Graph
-	n       int
-	adj     []bitset
-	weights []int64
-	best    int64
-	bestSet []int
-	current []int
+// branchBuf returns the depth-local clone buffer (allocated on first use).
+func (o *MaxISOracle) branchBuf(depth, which int) bitset {
+	b := o.branch[depth][which]
+	if b == nil {
+		b = newBitset(o.capN)
+		o.branch[depth][which] = b
+	}
+	return b
 }
 
-func (s *misSearch) record(weight int64) {
-	if weight > s.best {
-		s.best = weight
-		s.bestSet = append([]int(nil), s.current...)
+func (o *MaxISOracle) record(weight int64) {
+	if weight > o.best {
+		o.best = weight
+		o.bestSet = append(o.bestSet[:0], o.current...)
 	}
 }
 
 // aliveDegree returns |N(v) ∩ alive|.
-func (s *misSearch) aliveDegree(v int, alive bitset) int {
+func (o *MaxISOracle) aliveDegree(v int, alive bitset) int {
 	deg := 0
-	adj := s.adj[v]
+	adj := o.adj[v]
 	for i := range alive {
 		deg += bits.OnesCount64(adj[i] & alive[i])
 	}
@@ -81,16 +150,16 @@ func (s *misSearch) aliveDegree(v int, alive bitset) int {
 
 // takeVertex includes v: removes N[v] from alive and returns the weight of
 // removed vertices other than v.
-func (s *misSearch) takeVertex(v int, alive bitset) int64 {
+func (o *MaxISOracle) takeVertex(v int, alive bitset) int64 {
 	var removed int64
 	for i := range alive {
-		gone := alive[i] & s.adj[v][i]
+		gone := alive[i] & o.adj[v][i]
 		for gone != 0 {
 			idx := i*64 + bits.TrailingZeros64(gone)
-			removed += s.weights[idx]
+			removed += o.weights[idx]
 			gone &= gone - 1
 		}
-		alive[i] &^= s.adj[v][i]
+		alive[i] &^= o.adj[v][i]
 	}
 	alive.clear(v)
 	return removed
@@ -98,14 +167,14 @@ func (s *misSearch) takeVertex(v int, alive bitset) int64 {
 
 // recurse explores the alive subgraph. aliveWeight is the total weight of
 // alive vertices; weight is the accumulated selection weight.
-func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
-	if weight+aliveWeight <= s.best {
+func (o *MaxISOracle) recurse(alive bitset, aliveWeight, weight int64, depth int) {
+	if weight+aliveWeight <= o.best {
 		return
 	}
 	// Reduction loop: isolated vertices and dominant degree-1 vertices.
 	// Iterates set bits word by word; the stale-word snapshot is rechecked
 	// against alive because the loop body clears bits.
-	markLen := len(s.current)
+	markLen := len(o.current)
 	changed := true
 	for changed {
 		changed = false
@@ -116,22 +185,22 @@ func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
 				if !alive.get(v) {
 					continue
 				}
-				deg := s.aliveDegree(v, alive)
+				deg := o.aliveDegree(v, alive)
 				if deg == 0 {
 					alive.clear(v)
-					aliveWeight -= s.weights[v]
-					weight += s.weights[v]
-					s.current = append(s.current, v)
+					aliveWeight -= o.weights[v]
+					weight += o.weights[v]
+					o.current = append(o.current, v)
 					changed = true
 					continue
 				}
 				if deg == 1 {
-					u := s.soleAliveNeighbor(v, alive)
-					if s.weights[v] >= s.weights[u] {
-						removed := s.takeVertex(v, alive)
-						aliveWeight -= removed + s.weights[v]
-						weight += s.weights[v]
-						s.current = append(s.current, v)
+					u := o.soleAliveNeighbor(v, alive)
+					if o.weights[v] >= o.weights[u] {
+						removed := o.takeVertex(v, alive)
+						aliveWeight -= removed + o.weights[v]
+						weight += o.weights[v]
+						o.current = append(o.current, v)
 						changed = true
 					}
 				}
@@ -144,7 +213,7 @@ func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
 		for word != 0 {
 			v := i*64 + bits.TrailingZeros64(word)
 			word &= word - 1
-			if d := s.aliveDegree(v, alive); d > maxDeg {
+			if d := o.aliveDegree(v, alive); d > maxDeg {
 				maxDeg = d
 				branchVertex = v
 			}
@@ -152,32 +221,34 @@ func (s *misSearch) recurse(alive bitset, aliveWeight, weight int64) {
 	}
 	switch {
 	case branchVertex == -1:
-		s.record(weight)
+		o.record(weight)
 	case maxDeg <= 2:
-		extra, set := s.solvePathsAndCycles(alive)
-		s.current = append(s.current, set...)
-		s.record(weight + extra)
-		s.current = s.current[:len(s.current)-len(set)]
+		extra, set := o.solvePathsAndCycles(alive)
+		o.current = append(o.current, set...)
+		o.record(weight + extra)
+		o.current = o.current[:len(o.current)-len(set)]
 	default:
-		if weight+aliveWeight > s.best {
+		if weight+aliveWeight > o.best {
 			// Include branch vertex.
-			incAlive := alive.clone()
-			removed := s.takeVertex(branchVertex, incAlive)
-			s.current = append(s.current, branchVertex)
-			s.recurse(incAlive, aliveWeight-removed-s.weights[branchVertex], weight+s.weights[branchVertex])
-			s.current = s.current[:len(s.current)-1]
+			incAlive := o.branchBuf(depth, 0)
+			copy(incAlive, alive)
+			removed := o.takeVertex(branchVertex, incAlive)
+			o.current = append(o.current, branchVertex)
+			o.recurse(incAlive, aliveWeight-removed-o.weights[branchVertex], weight+o.weights[branchVertex], depth+1)
+			o.current = o.current[:len(o.current)-1]
 			// Exclude branch vertex.
-			excAlive := alive.clone()
+			excAlive := o.branchBuf(depth, 1)
+			copy(excAlive, alive)
 			excAlive.clear(branchVertex)
-			s.recurse(excAlive, aliveWeight-s.weights[branchVertex], weight)
+			o.recurse(excAlive, aliveWeight-o.weights[branchVertex], weight, depth+1)
 		}
 	}
-	s.current = s.current[:markLen]
+	o.current = o.current[:markLen]
 }
 
-func (s *misSearch) soleAliveNeighbor(v int, alive bitset) int {
+func (o *MaxISOracle) soleAliveNeighbor(v int, alive bitset) int {
 	for i := range alive {
-		if both := s.adj[v][i] & alive[i]; both != 0 {
+		if both := o.adj[v][i] & alive[i]; both != 0 {
 			return i*64 + bits.TrailingZeros64(both)
 		}
 	}
@@ -187,24 +258,27 @@ func (s *misSearch) soleAliveNeighbor(v int, alive bitset) int {
 // solvePathsAndCycles solves MaxWeightIS exactly on an alive subgraph of
 // maximum degree 2 (a disjoint union of paths and cycles) by DP, returning
 // the optimal weight and the chosen vertices.
-func (s *misSearch) solvePathsAndCycles(alive bitset) (int64, []int) {
-	visited := newBitset(s.n)
+func (o *MaxISOracle) solvePathsAndCycles(alive bitset) (int64, []int) {
+	visited := o.visited
+	for i := range visited {
+		visited[i] = 0
+	}
 	var total int64
 	var chosen []int
-	for v := 0; v < s.n; v++ {
+	for v := 0; v < o.n; v++ {
 		if !alive.get(v) || visited.get(v) {
 			continue
 		}
-		component := s.collectComponent(v, alive, visited)
-		order, isCycle := orderComponent(component, func(a, b int) bool { return s.adj[a].get(b) })
-		w, set := s.pathCycleDP(order, isCycle)
+		component := o.collectComponent(v, alive, visited)
+		order, isCycle := orderComponent(component, func(a, b int) bool { return o.adj[a].get(b) })
+		w, set := o.pathCycleDP(order, isCycle)
 		total += w
 		chosen = append(chosen, set...)
 	}
 	return total, chosen
 }
 
-func (s *misSearch) collectComponent(start int, alive, visited bitset) []int {
+func (o *MaxISOracle) collectComponent(start int, alive, visited bitset) []int {
 	var comp []int
 	queue := []int{start}
 	visited.set(start)
@@ -213,7 +287,7 @@ func (s *misSearch) collectComponent(start int, alive, visited bitset) []int {
 		queue = queue[1:]
 		comp = append(comp, v)
 		for i := range alive {
-			nbrs := s.adj[v][i] & alive[i]
+			nbrs := o.adj[v][i] & alive[i]
 			for nbrs != 0 {
 				u := i*64 + bits.TrailingZeros64(nbrs)
 				nbrs &= nbrs - 1
@@ -283,7 +357,7 @@ func contains(list []int, v int) bool {
 // pathCycleDP is the classic weighted independent set DP on a path; for
 // cycles it takes the better of "exclude first" and "include first,
 // exclude its two neighbors".
-func (s *misSearch) pathCycleDP(order []int, isCycle bool) (int64, []int) {
+func (o *MaxISOracle) pathCycleDP(order []int, isCycle bool) (int64, []int) {
 	if len(order) == 0 {
 		return 0, nil
 	}
@@ -296,7 +370,7 @@ func (s *misSearch) pathCycleDP(order []int, isCycle bool) (int64, []int) {
 		take := make([]int64, len(vs)+1)
 		skip := make([]int64, len(vs)+1)
 		for i, v := range vs {
-			take[i+1] = skip[i] + s.weights[v]
+			take[i+1] = skip[i] + o.weights[v]
 			skip[i+1] = max64(take[i], skip[i])
 		}
 		// Reconstruct by walking each state's provenance: take[i] selects
@@ -320,10 +394,10 @@ func (s *misSearch) pathCycleDP(order []int, isCycle bool) (int64, []int) {
 	if !isCycle || len(order) <= 2 {
 		if isCycle && len(order) == 2 {
 			// Two mutually adjacent vertices: pick the heavier.
-			if s.weights[order[0]] >= s.weights[order[1]] {
-				return s.weights[order[0]], []int{order[0]}
+			if o.weights[order[0]] >= o.weights[order[1]] {
+				return o.weights[order[0]], []int{order[0]}
 			}
-			return s.weights[order[1]], []int{order[1]}
+			return o.weights[order[1]], []int{order[1]}
 		}
 		return pathDP(order)
 	}
@@ -331,7 +405,7 @@ func (s *misSearch) pathCycleDP(order []int, isCycle bool) (int64, []int) {
 	// cycle neighbors (order[1] and order[last]) are excluded.
 	excW, excSet := pathDP(order[1:])
 	incW, incSet := pathDP(order[2 : len(order)-1])
-	incW += s.weights[order[0]]
+	incW += o.weights[order[0]]
 	if incW > excW {
 		return incW, append(append([]int(nil), incSet...), order[0])
 	}
@@ -348,14 +422,11 @@ func max64(a, b int64) int64 {
 // MaxIndependentSetSize returns α(G), the cardinality of a maximum
 // independent set (unit weights regardless of g's vertex weights).
 func MaxIndependentSetSize(g *graph.Graph) (int, []int, error) {
-	unit := g.Clone()
-	for v := 0; v < unit.N(); v++ {
-		if err := unit.SetVertexWeight(v, 1); err != nil {
-			return 0, nil, err
-		}
+	alpha, set, err := new(MaxISOracle).MaxIndependentSetSize(g)
+	if err != nil {
+		return 0, nil, err
 	}
-	w, set, err := MaxWeightIndependentSet(unit)
-	return int(w), set, err
+	return alpha, append([]int(nil), set...), nil
 }
 
 // MinVertexCoverSize returns τ(G) = n - α(G) together with a minimum vertex

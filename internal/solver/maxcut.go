@@ -82,12 +82,144 @@ func maxCutSearch(g *graph.Graph, stopAt int64) (int64, uint64, error) {
 }
 
 // HasCutOfWeight reports whether g has a cut of weight at least target
-// (the decision predicate of Theorem 2.8). The enumeration returns as soon
-// as a witness cut is found, so YES instances are decided early.
+// (the decision predicate of Theorem 2.8). It delegates to MaxCutOracle:
+// branch and bound over vertex assignments, exact, with YES instances
+// decided as soon as a witness assignment prefix reaches the target.
 func HasCutOfWeight(g *graph.Graph, target int64) (bool, error) {
-	best, _, err := maxCutSearch(g, target)
-	if err != nil {
-		return false, err
+	return new(MaxCutOracle).HasCutOfWeight(g, target)
+}
+
+// MaxCutOracle is a reusable exact max-cut decision evaluator. It assigns
+// vertices to sides in descending weighted-degree order with branch and
+// bound: the bound adds the total positive weight of not-yet-decided edges
+// (remGain), so assignments that cannot reach the target are pruned — on
+// the paper's Section 2.4 instances the k⁴ forcing edges make this
+// exponentially faster than the Gray-code sweep that MaxCut (the full
+// maximization) still uses. All scratch is preallocated and reused, so a
+// worker holding an oracle across many same-size graphs does not allocate.
+// The zero value is ready to use. Not safe for concurrent use.
+type MaxCutOracle struct {
+	n        int   // vertex count of the current call
+	capN     int   // allocated capacity
+	order    []int // order[d] = vertex assigned at depth d
+	pos      []int // pos[v] = depth of v
+	gain     []int64
+	back     [][]cutBackEdge // back[d] = edges from order[d] to earlier depths
+	remGain  []int64         // remGain[d] = total positive weight of edges undecided before depth d
+	side     []bool          // side[d] = side of order[d]
+	target   int64
+	negative bool
+}
+
+// cutBackEdge is an edge from the vertex at some depth to an earlier depth.
+type cutBackEdge struct {
+	p int // earlier endpoint's depth
+	w int64
+}
+
+// HasCutOfWeight reports whether g has a cut of weight at least target,
+// reusing the oracle's scratch. Same 28-vertex limit (and error message)
+// as the package-level function, so the two paths are interchangeable.
+func (o *MaxCutOracle) HasCutOfWeight(g *graph.Graph, target int64) (bool, error) {
+	n := g.N()
+	if n > 28 {
+		return false, fmt.Errorf("exact max-cut limited to 28 vertices, got %d", n)
 	}
-	return best >= target, nil
+	if n <= 1 {
+		return 0 >= target, nil
+	}
+	o.grow(n)
+	o.target = target
+	o.negative = false
+	// Weighted-degree order, heaviest first: deciding the forcing edges
+	// early makes the remGain bound bite immediately.
+	for v := 0; v < n; v++ {
+		var total int64
+		for _, h := range g.Neighbors(v) {
+			if h.Weight > 0 {
+				total += h.Weight
+			} else if h.Weight < 0 {
+				o.negative = true
+			}
+		}
+		o.gain[v] = total
+		o.order[v] = v
+	}
+	for i := 1; i < n; i++ {
+		v := o.order[i]
+		j := i
+		for j > 0 && o.gain[o.order[j-1]] < o.gain[v] {
+			o.order[j] = o.order[j-1]
+			j--
+		}
+		o.order[j] = v
+	}
+	for d := 0; d < n; d++ { // first n entries only: o.order may be larger
+		o.pos[o.order[d]] = d
+	}
+	for d := 0; d < n; d++ {
+		o.back[d] = o.back[d][:0]
+	}
+	for v := 0; v < n; v++ {
+		d := o.pos[v]
+		for _, h := range g.Neighbors(v) {
+			if p := o.pos[h.To]; p < d {
+				o.back[d] = append(o.back[d], cutBackEdge{p: p, w: h.Weight})
+			}
+		}
+	}
+	// remGain[d]: an edge is decided at its later endpoint's depth.
+	o.remGain[n] = 0
+	for d := n - 1; d >= 0; d-- {
+		var late int64
+		for _, be := range o.back[d] {
+			if be.w > 0 {
+				late += be.w
+			}
+		}
+		o.remGain[d] = o.remGain[d+1] + late
+	}
+	o.side[0] = false // fix one side by symmetry
+	return o.recurse(1, 0), nil
+}
+
+func (o *MaxCutOracle) grow(n int) {
+	o.n = n
+	if o.capN >= n {
+		return
+	}
+	o.capN = n
+	o.order = make([]int, n)
+	o.pos = make([]int, n)
+	o.gain = make([]int64, n)
+	o.back = make([][]cutBackEdge, n)
+	o.remGain = make([]int64, n+1)
+	o.side = make([]bool, n)
+}
+
+func (o *MaxCutOracle) recurse(d int, current int64) bool {
+	if current >= o.target && !o.negative {
+		// With nonnegative weights any completion only adds cut weight.
+		return true
+	}
+	if d == o.n {
+		return current >= o.target
+	}
+	if current+o.remGain[d] < o.target {
+		return false
+	}
+	for s := 0; s < 2; s++ {
+		cur := current
+		right := s == 1
+		for _, be := range o.back[d] {
+			if o.side[be.p] != right {
+				cur += be.w
+			}
+		}
+		o.side[d] = right
+		if o.recurse(d+1, cur) {
+			return true
+		}
+	}
+	return false
 }

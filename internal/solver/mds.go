@@ -34,17 +34,7 @@ func MinDominatingSetWithin(g *graph.Graph, cap int64) (weight int64, set []int,
 // HasDominatingSetOfSize reports whether g has a dominating set of
 // cardinality at most size (the decision predicate of Theorem 2.1).
 func HasDominatingSetOfSize(g *graph.Graph, size int) (bool, error) {
-	unit := g.Clone()
-	for v := 0; v < unit.N(); v++ {
-		if err := unit.SetVertexWeight(v, 1); err != nil {
-			return false, err
-		}
-	}
-	_, _, found, err := minDominatingSetCapped(unit, int64(size))
-	if err != nil {
-		return false, err
-	}
-	return found, nil
+	return new(MDSOracle).HasDominatingSetOfSize(g, size)
 }
 
 // MinDominatingSetOfTargets computes a minimum-weight set of vertices
@@ -111,97 +101,194 @@ func minDominatingSetCapped(g *graph.Graph, cap int64) (int64, []int, bool, erro
 // minDominatingSetFrom is minDominatingSetCapped starting from a set of
 // vertices already considered dominated.
 func minDominatingSetFrom(g *graph.Graph, dominatedInit bitset, cap int64) (int64, []int, bool, error) {
+	o := new(MDSOracle)
+	weight, set, found := o.search(g, dominatedInit, cap, false)
+	if !found {
+		return 0, nil, false, nil
+	}
+	out := append([]int(nil), set...)
+	return weight, out, true, nil
+}
+
+// MDSOracle is a reusable exact minimum-dominating-set evaluator: it owns
+// the branch-and-bound scratch (closed-neighborhood bitsets, branch orders,
+// per-depth bitsets), so a worker holding one across many same-size graphs
+// pays no per-call allocation. The package-level functions delegate to a
+// fresh oracle; verification workers keep one warm. The zero value is
+// ready to use. Not safe for concurrent use.
+type MDSOracle struct {
+	n            int
+	closed       []bitset
+	candidatesOf [][]int
+	scratch      []bitset
+	current      []int
+	bestSet      []int
+	initBuf      bitset
+
+	// per-search state
+	g              *graph.Graph
+	unit           bool
+	best           int64
+	found          bool
+	useGreedyBound bool
+	minWeight      int64
+	maxCover       int
+}
+
+// HasDominatingSetOfSize reports whether g has a dominating set of
+// cardinality at most size, reusing the oracle's scratch. It is the
+// arena-backed equivalent of the package-level HasDominatingSetOfSize
+// (which clones the graph to unit weights; the oracle instead evaluates
+// weights as 1 directly).
+func (o *MDSOracle) HasDominatingSetOfSize(g *graph.Graph, size int) (bool, error) {
 	n := g.N()
+	if n == 0 {
+		return true, nil
+	}
+	if n > 512 {
+		return false, fmt.Errorf("exact MDS limited to 512 vertices, got %d", n)
+	}
+	o.grow(n)
+	for i := range o.initBuf {
+		o.initBuf[i] = 0
+	}
+	_, _, found := o.search(g, o.initBuf, int64(size), true)
+	return found, nil
+}
+
+// grow (re)sizes the arena for n-vertex graphs.
+func (o *MDSOracle) grow(n int) {
+	if o.n == n {
+		return
+	}
+	o.n = n
+	o.closed = make([]bitset, n)
+	for v := range o.closed {
+		o.closed[v] = newBitset(n)
+	}
+	o.candidatesOf = make([][]int, n)
+	o.scratch = make([]bitset, n+1)
+	o.current = make([]int, 0, n)
+	o.initBuf = newBitset(n)
+}
+
+func (o *MDSOracle) vw(v int) int64 {
+	if o.unit {
+		return 1
+	}
+	return o.g.VertexWeight(v)
+}
+
+// search runs the capped branch and bound. The returned set aliases the
+// oracle's storage and is only valid until the next call.
+func (o *MDSOracle) search(g *graph.Graph, dominatedInit bitset, cap int64, unit bool) (int64, []int, bool) {
+	n := g.N()
+	o.grow(n)
+	o.g, o.unit = g, unit
 	// closed[v] = N[v] as a bitset.
-	closed := make([]bitset, n)
 	for v := 0; v < n; v++ {
-		closed[v] = newBitset(n)
-		closed[v].set(v)
+		b := o.closed[v]
+		for i := range b {
+			b[i] = 0
+		}
+		b.set(v)
 		for _, h := range g.Neighbors(v) {
-			closed[v].set(h.To)
+			b.set(h.To)
 		}
 	}
 	// Greedy bound ingredients: the bound is only valid when every vertex
 	// weight is at least minWeight >= 1; with zero-weight vertices we fall
 	// back to pruning on the accumulated weight alone.
-	useGreedyBound := true
-	var minWeight int64 = math.MaxInt64
+	o.useGreedyBound = true
+	o.minWeight = math.MaxInt64
 	for v := 0; v < n; v++ {
-		w := g.VertexWeight(v)
+		w := o.vw(v)
 		if w < 1 {
-			useGreedyBound = false
+			o.useGreedyBound = false
 		}
-		if w < minWeight {
-			minWeight = w
+		if w < o.minWeight {
+			o.minWeight = w
 		}
 	}
-	maxCover := g.MaxDegree() + 1
+	o.maxCover = g.MaxDegree() + 1
 
-	// Branch order is fixed per vertex (N[v] by descending degree, computed
-	// with the same unstable sort the search historically ran per node), so
-	// it is hoisted out of the recursion. scratch provides one reusable
-	// bitset per recursion depth — the search allocates nothing per node.
-	candidatesOf := make([][]int, n)
+	// Branch order is fixed per vertex (N[v] by descending degree), so it
+	// is hoisted out of the recursion; the insertion sort reuses the
+	// arena's slices, allocating only while a window grows past its
+	// high-water mark.
 	for v := 0; v < n; v++ {
-		candidates := make([]int, 0, len(g.Neighbors(v))+1)
-		candidates = append(candidates, v)
+		candidates := append(o.candidatesOf[v][:0], v)
 		for _, h := range g.Neighbors(v) {
 			candidates = append(candidates, h.To)
 		}
-		sort.Slice(candidates, func(i, j int) bool {
-			return len(g.Neighbors(candidates[i])) > len(g.Neighbors(candidates[j]))
-		})
-		candidatesOf[v] = candidates
-	}
-	scratch := make([]bitset, n+1)
-
-	best := cap + 1
-	var bestSet []int
-	current := make([]int, 0, n)
-
-	var recurse func(dominated bitset, weight int64, depth int)
-	recurse = func(dominated bitset, weight int64, depth int) {
-		undominated := n - dominated.count()
-		if undominated == 0 {
-			if weight < best {
-				best = weight
-				bestSet = append([]int(nil), current...)
+		for i := 1; i < len(candidates); i++ {
+			c := candidates[i]
+			j := i
+			for j > 0 && len(g.Neighbors(candidates[j-1])) < len(g.Neighbors(c)) {
+				candidates[j] = candidates[j-1]
+				j--
 			}
+			candidates[j] = c
+		}
+		o.candidatesOf[v] = candidates
+	}
+
+	o.best = cap + 1
+	o.found = false
+	o.bestSet = o.bestSet[:0]
+	o.current = o.current[:0]
+
+	init := o.scratch[n]
+	if init == nil {
+		init = newBitset(n)
+		o.scratch[n] = init
+	}
+	copy(init, dominatedInit)
+	o.recurse(init, 0, 0)
+	if !o.found {
+		return 0, nil, false
+	}
+	sort.Ints(o.bestSet)
+	return o.best, o.bestSet, true
+}
+
+func (o *MDSOracle) recurse(dominated bitset, weight int64, depth int) {
+	n := o.n
+	undominated := n - dominated.count()
+	if undominated == 0 {
+		if weight < o.best {
+			o.best = weight
+			o.found = true
+			o.bestSet = append(o.bestSet[:0], o.current...)
+		}
+		return
+	}
+	// Greedy lower bound: every added vertex dominates at most maxCover
+	// new vertices and costs at least minWeight.
+	if o.useGreedyBound {
+		lb := int64((undominated+o.maxCover-1)/o.maxCover) * o.minWeight
+		if weight+lb >= o.best {
 			return
 		}
-		// Greedy lower bound: every added vertex dominates at most maxCover
-		// new vertices and costs at least minWeight.
-		if useGreedyBound {
-			lb := int64((undominated+maxCover-1)/maxCover) * minWeight
-			if weight+lb >= best {
-				return
-			}
-		}
-		if weight >= best {
-			return
-		}
-		v := dominated.firstClear(n)
-		// v must be dominated by some vertex in N[v]; branch over choices,
-		// heaviest domination gain first.
-		next := scratch[depth]
-		if next == nil {
-			next = newBitset(n)
-			scratch[depth] = next
-		}
-		for _, c := range candidatesOf[v] {
-			copy(next, dominated)
-			next.orInto(closed[c])
-			current = append(current, c)
-			recurse(next, weight+g.VertexWeight(c), depth+1)
-			current = current[:len(current)-1]
-		}
 	}
-	recurse(dominatedInit.clone(), 0, 0)
-	if bestSet == nil {
-		return 0, nil, false, nil
+	if weight >= o.best {
+		return
 	}
-	sort.Ints(bestSet)
-	return best, bestSet, true, nil
+	v := dominated.firstClear(n)
+	// v must be dominated by some vertex in N[v]; branch over choices,
+	// heaviest domination gain first.
+	next := o.scratch[depth]
+	if next == nil {
+		next = newBitset(n)
+		o.scratch[depth] = next
+	}
+	for _, c := range o.candidatesOf[v] {
+		copy(next, dominated)
+		next.orInto(o.closed[c])
+		o.current = append(o.current, c)
+		o.recurse(next, weight+o.vw(c), depth+1)
+		o.current = o.current[:len(o.current)-1]
+	}
 }
 
 // IsDominatingSet reports whether set dominates every vertex of g.

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/graph"
+)
+
+// TestOraclesReusedAcrossSizesAgreeWithFreshCalls drives one oracle of
+// each kind across random graphs of varying sizes — the arena-reuse
+// pattern the verification workers rely on — and checks every verdict
+// against a freshly constructed package-level call.
+func TestOraclesReusedAcrossSizesAgreeWithFreshCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var mds MDSOracle
+	var cut MaxCutOracle
+	var mis MaxISOracle
+	var steiner SteinerOracle
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		g := graph.Gnp(n, 0.4, rng)
+		for v := 0; v < n; v++ {
+			if err := g.SetVertexWeight(v, int64(rng.Intn(3)+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		size := 1 + rng.Intn(n)
+		gotMDS, err := mds.HasDominatingSetOfSize(g, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMDS, err := HasDominatingSetOfSize(g, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMDS != wantMDS {
+			t.Fatalf("trial %d: MDS oracle %v, fresh %v (n=%d size=%d)", trial, gotMDS, wantMDS, n, size)
+		}
+
+		best, _, err := MaxCut(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []int64{best - 1, best, best + 1} {
+			gotCut, err := cut.HasCutOfWeight(g, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := best >= target; gotCut != want {
+				t.Fatalf("trial %d: cut oracle(target=%d) %v, want %v (best %d)", trial, target, gotCut, want, best)
+			}
+		}
+
+		wWant, _, err := MaxWeightIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wGot, _, err := mis.MaxWeightIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wGot != wWant {
+			t.Fatalf("trial %d: MaxIS oracle %d, fresh %d", trial, wGot, wWant)
+		}
+		aWant, _, err := MaxIndependentSetSize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aGot, _, err := mis.MaxIndependentSetSize(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aGot != aWant {
+			t.Fatalf("trial %d: alpha oracle %d, fresh %d", trial, aGot, aWant)
+		}
+
+		terminals := []int{0, n - 1, n / 2}
+		maxEdges := 1 + rng.Intn(n)
+		gotST, errGot := steiner.HasSteinerTreeWithEdges(g, terminals, maxEdges)
+		wantST, errWant := HasSteinerTreeWithEdges(g, terminals, maxEdges)
+		if (errGot == nil) != (errWant == nil) {
+			t.Fatalf("trial %d: steiner errors diverge: %v vs %v", trial, errGot, errWant)
+		}
+		if errGot == nil && gotST != wantST {
+			t.Fatalf("trial %d: steiner oracle %v, fresh %v", trial, gotST, wantST)
+		}
+	}
+}

@@ -100,8 +100,46 @@ func SteinerTree(g *graph.Graph, terminals []int) (int64, error) {
 // Exact, with work bounded by C(#non-terminals, budget); it rejects
 // parameter combinations above ~10^7 subsets.
 func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (bool, error) {
+	return new(SteinerOracle).HasSteinerTreeWithEdges(g, terminals, maxEdges)
+}
+
+// SteinerOracle is a reusable Steiner-tree decision evaluator: it owns the
+// terminal marks, candidate lists, bitmask adjacency and BFS scratch of
+// HasSteinerTreeWithEdges, so a worker holding one across many same-size
+// graphs does not allocate. The zero value is ready to use. Not safe for
+// concurrent use.
+type SteinerOracle struct {
+	capN       int
+	isTerminal []bool
+	others     []int
+	adjMask    []uint64
+	allowed    []bool
+	chosen     []int
+	scratch    *bfsScratch
+}
+
+func (o *SteinerOracle) grow(n int) {
+	if o.capN >= n {
+		return
+	}
+	o.capN = n
+	o.isTerminal = make([]bool, n)
+	o.others = make([]int, 0, n)
+	o.adjMask = make([]uint64, n)
+	o.allowed = make([]bool, n)
+	o.chosen = make([]int, 0, n)
+	o.scratch = newBFSScratch(n)
+}
+
+// HasSteinerTreeWithEdges is the arena-backed equivalent of the package
+// function: same enumeration order, same limits and error messages.
+func (o *SteinerOracle) HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (bool, error) {
 	n := g.N()
-	isTerminal := make([]bool, n)
+	o.grow(n)
+	isTerminal := o.isTerminal[:n]
+	for v := range isTerminal {
+		isTerminal[v] = false
+	}
 	for _, v := range terminals {
 		if v < 0 || v >= n {
 			return false, fmt.Errorf("terminal %d out of range", v)
@@ -112,12 +150,13 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 	if budget < 0 {
 		return false, nil
 	}
-	var others []int
+	others := o.others[:0]
 	for v := 0; v < n; v++ {
 		if !isTerminal[v] {
 			others = append(others, v)
 		}
 	}
+	o.others = others
 	if budget > len(others) {
 		budget = len(others)
 	}
@@ -128,11 +167,10 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 		return true, nil
 	}
 	if n <= 64 {
-		return hasSteinerTreeSmall(g, terminals, others, budget), nil
+		return o.hasSmall(g, terminals, budget), nil
 	}
-	allowed := make([]bool, n)
-	scratch := newBFSScratch(n)
-	var chosen []int
+	allowed := o.allowed[:n]
+	chosen := o.chosen[:0]
 	var try func(startIdx, remaining int) bool
 	try = func(startIdx, remaining int) bool {
 		for v := 0; v < n; v++ {
@@ -141,7 +179,7 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 		for _, v := range chosen {
 			allowed[v] = true
 		}
-		if len(terminals) == 0 || scratch.terminalsConnected(g, terminals, allowed) {
+		if len(terminals) == 0 || o.scratch.terminalsConnected(g, terminals, allowed) {
 			return true
 		}
 		if remaining == 0 {
@@ -159,14 +197,15 @@ func HasSteinerTreeWithEdges(g *graph.Graph, terminals []int, maxEdges int) (boo
 	return try(0, budget), nil
 }
 
-// hasSteinerTreeSmall is the n <= 64 fast path of HasSteinerTreeWithEdges:
-// adjacency and reachability live in single machine words, so each
-// candidate-subset connectivity probe costs O(reached vertices) word ops
-// and allocates nothing. The enumeration order matches the general path.
-func hasSteinerTreeSmall(g *graph.Graph, terminals, others []int, budget int) bool {
+// hasSmall is the n <= 64 fast path: adjacency and reachability live in
+// single machine words, so each candidate-subset connectivity probe costs
+// O(reached vertices) word ops and allocates nothing. The enumeration
+// order matches the general path.
+func (o *SteinerOracle) hasSmall(g *graph.Graph, terminals []int, budget int) bool {
 	n := g.N()
-	adjMask := make([]uint64, n)
+	adjMask := o.adjMask[:n]
 	for v := 0; v < n; v++ {
+		adjMask[v] = 0
 		for _, h := range g.Neighbors(v) {
 			adjMask[v] |= uint64(1) << uint(h.To)
 		}
@@ -175,32 +214,31 @@ func hasSteinerTreeSmall(g *graph.Graph, terminals, others []int, budget int) bo
 	for _, t := range terminals {
 		termMask |= uint64(1) << uint(t)
 	}
-	start := terminals[0]
-	var try func(startIdx, remaining int, allowed uint64) bool
-	try = func(startIdx, remaining int, allowed uint64) bool {
-		reach := uint64(1) << uint(start)
-		frontier := reach
-		for frontier != 0 {
-			v := bits.TrailingZeros64(frontier)
-			frontier &= frontier - 1
-			add := adjMask[v] & allowed &^ reach
-			reach |= add
-			frontier |= add
-		}
-		if termMask&^reach == 0 {
-			return true
-		}
-		if remaining == 0 {
-			return false
-		}
-		for i := startIdx; i < len(others); i++ {
-			if try(i+1, remaining-1, allowed|uint64(1)<<uint(others[i])) {
-				return true
-			}
-		}
+	return o.trySmall(terminals[0], termMask, 0, budget, termMask)
+}
+
+func (o *SteinerOracle) trySmall(start int, termMask uint64, startIdx, remaining int, allowed uint64) bool {
+	reach := uint64(1) << uint(start)
+	frontier := reach
+	for frontier != 0 {
+		v := bits.TrailingZeros64(frontier)
+		frontier &= frontier - 1
+		add := o.adjMask[v] & allowed &^ reach
+		reach |= add
+		frontier |= add
+	}
+	if termMask&^reach == 0 {
+		return true
+	}
+	if remaining == 0 {
 		return false
 	}
-	return try(0, budget, termMask)
+	for i := startIdx; i < len(o.others); i++ {
+		if o.trySmall(start, termMask, i+1, remaining-1, allowed|uint64(1)<<uint(o.others[i])) {
+			return true
+		}
+	}
+	return false
 }
 
 func binomialSum(n, k int) float64 {
