@@ -549,31 +549,69 @@ func BenchmarkCongestRunCore(b *testing.B) {
 
 // BenchmarkVerifyExhaustive runs the full Definition 1.1 exhaustive
 // verification (all 2^(2K) pairs, parallel across cores) for the heaviest
-// Section 2 families; this is the workload the constructions test suites
-// spend their time in, tracked here for the BENCH trajectory. All three
-// families are delta-enabled, so verification walks the input cube in
-// Gray-code order with per-worker oracle arenas: allocs/op must stay flat
-// in the number of pairs (roughly one allocation per pair of setup cost —
-// the CI bench smoke fails if it regresses toward the ~190 allocs/pair of
-// the rebuild path).
+// Section 2-4 families; this is the workload the constructions test
+// suites spend their time in, tracked here for the BENCH trajectory. All
+// tracked families are delta-enabled — undirected and directed alike — so
+// verification walks the input cube in Gray-code order with per-worker
+// oracle arenas: allocs/op must stay flat in the number of pairs (a few
+// allocations per pair of per-worker setup cost at k=2 — the CI bench
+// smoke fails if it regresses toward the hundreds-per-pair of the rebuild
+// paths).
 func BenchmarkVerifyExhaustive(b *testing.B) {
 	families := []struct {
-		name string
-		fam  func() (lbfamily.Family, error)
+		name   string
+		verify func(b *testing.B) func() error
 	}{
-		{"mdslb", func() (lbfamily.Family, error) { return mdslb.New(2) }},
-		{"maxcutlb", func() (lbfamily.Family, error) { return maxcutlb.New(2) }},
-		{"steinerlb", func() (lbfamily.Family, error) { return steinerlb.New(2) }},
-	}
-	for _, bench := range families {
-		b.Run(bench.name, func(b *testing.B) {
-			fam, err := bench.fam()
+		{"mdslb", func(b *testing.B) func() error {
+			fam, err := mdslb.New(2)
 			if err != nil {
 				b.Fatal(err)
 			}
+			return func() error { return lbfamily.Verify(fam) }
+		}},
+		{"maxcutlb", func(b *testing.B) func() error {
+			fam, err := maxcutlb.New(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.Verify(fam) }
+		}},
+		{"steinerlb", func(b *testing.B) func() error {
+			fam, err := steinerlb.New(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.Verify(fam) }
+		}},
+		{"hamlb", func(b *testing.B) func() error {
+			fam, err := hamlb.New(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.VerifyDigraph(fam) }
+		}},
+		{"kmdslb", func(b *testing.B) func() error {
+			fam, err := kmdslb.NewTwoMDS(kmdsParams(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.Verify(fam) }
+		}},
+		{"boundedlb", func(b *testing.B) func() error {
+			fam, err := boundedlb.NewFamily(2, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.Verify(fam) }
+		}},
+	}
+	for _, bench := range families {
+		b.Run(bench.name, func(b *testing.B) {
+			verify := bench.verify(b)
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := lbfamily.Verify(fam); err != nil {
+				if err := verify(); err != nil {
 					b.Fatal(err)
 				}
 			}

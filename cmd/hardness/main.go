@@ -6,7 +6,8 @@
 //
 //	hardness -experiment all          # run everything
 //	hardness -experiment E1           # one experiment
-//	hardness -list                    # list experiment ids
+//	hardness -list                    # list experiment ids (authoritative)
+//	hardness -seed 7 -experiment E7   # reseed the randomized experiments
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"sync"
 
+	"congesthard/internal/aggregate"
 	"congesthard/internal/algorithms"
 	"congesthard/internal/comm"
 	"congesthard/internal/constructions/apxmaxislb"
@@ -24,18 +27,24 @@ import (
 	"congesthard/internal/constructions/kmdslb"
 	"congesthard/internal/constructions/maxcutlb"
 	"congesthard/internal/constructions/mdslb"
-	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
+	"congesthard/internal/pls"
 	"congesthard/internal/solver"
 )
 
+// seed drives every randomized experiment (E4, E7, E9, E18 and the
+// sampled verifications); it is printed with the output so runs are
+// reproducible by default and variable on demand via -seed.
+var seed int64
+
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
-	list := flag.Bool("list", false, "list experiments")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E18, see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
+	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
 	if err := run(*experiment, *list); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -49,13 +58,22 @@ func experiments() map[string]experimentFunc {
 	return map[string]experimentFunc{
 		"E1":  e1MDS,
 		"E2":  e2HamPath,
+		"E3":  e3HamCycle,
+		"E4":  e4TwoECSS,
 		"E5":  e5Steiner,
 		"E6":  e6MaxCut,
 		"E7":  e7MaxCutApprox,
 		"E8":  e8Bounded,
+		"E9":  e9BoundedReductions,
 		"E10": e10ApproxMaxIS,
+		"E11": e11ApproxMaxISLinear,
 		"E12": e12TwoMDS,
+		"E13": e13KMDS,
+		"E14": e14NodeSteiner,
+		"E15": e15DirSteiner,
+		"E16": e16Aggregate,
 		"E17": e17Limits,
+		"E18": e18PLS,
 	}
 }
 
@@ -77,6 +95,7 @@ func run(which string, list bool) error {
 		}
 		return nil
 	}
+	fmt.Printf("seed=%d\n", seed)
 	if which != "all" {
 		fn, ok := exps[which]
 		if !ok {
@@ -108,6 +127,27 @@ func scalingTable(name string, build func(k int) (lbfamily.Stats, comm.Function,
 		fmt.Printf("  k=%-4d n=%-5d cut=%-5d K=%-7d LB=%.1f\n", k, stats.N, stats.CutSize, stats.K, bound)
 	}
 	return nil
+}
+
+// kmdsState caches the verified r-covering collection the Section 4
+// experiments (E12-E16) share, so '-experiment all' runs the randomized
+// cover search once instead of once per experiment.
+var kmdsState struct {
+	once sync.Once
+	p    kmdslb.Params
+	err  error
+}
+
+func kmdsParams() (kmdslb.Params, error) {
+	kmdsState.once.Do(func() {
+		c, err := cover.Find(4, 12, 2, 7, 500)
+		if err != nil {
+			kmdsState.err = err
+			return
+		}
+		kmdsState.p = kmdslb.Params{Collection: c, R: 2}
+	})
+	return kmdsState.p, kmdsState.err
 }
 
 func e1MDS() error {
@@ -148,6 +188,53 @@ func e2HamPath() error {
 		stats, err := lbfamily.MeasureDigraphStats(f)
 		return stats, f.Func(), err
 	}, []int{2, 4, 8, 16})
+}
+
+func e3HamCycle() error {
+	c, err := hamlb.NewCycle(2)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		x := comm.RandomBits(4, rng)
+		y := comm.RandomBits(4, rng)
+		d, err := c.Build(x, y)
+		if err != nil {
+			return err
+		}
+		got, err := c.Predicate(d)
+		if err != nil {
+			return err
+		}
+		if want := x.Intersects(y); got != want {
+			return fmt.Errorf("Claim 2.6 violated at (x=%s, y=%s): cycle=%v intersect=%v", x, y, got, want)
+		}
+		checked++
+	}
+	stats, err := lbfamily.MeasureDigraphStats(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Hamiltonian cycle family (Thm 2.3): Claim 2.6 holds on %d sampled pairs; n=%d, cut=%d\n",
+		checked, stats.N, stats.CutSize)
+	return nil
+}
+
+func e4TwoECSS() error {
+	rng := rand.New(rand.NewSource(seed))
+	g, cycle := graph.HamiltonianGnp(10, 0.2, rng)
+	ok, err := solver.HasTwoECSSWithEdges(g, g.N())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2-ECSS (Thm 2.5 / Claim 2.7): planted Hamiltonian graph n=%d m=%d has an n-edge 2-ECSS: %v (planted cycle length %d)\n",
+		g.N(), g.M(), ok, len(cycle))
+	if !ok {
+		return fmt.Errorf("claim 2.7 failed on a Hamiltonian graph")
+	}
+	return nil
 }
 
 func e5Steiner() error {
@@ -208,7 +295,7 @@ func e6MaxCut() error {
 }
 
 func e7MaxCutApprox() error {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(seed))
 	fmt.Println("Thm 2.9: sampled (1-eps) max-cut vs exact collection")
 	for _, n := range []int{12, 16, 20} {
 		g := graph.Gnp(n, 0.5, rng)
@@ -230,19 +317,15 @@ func e7MaxCutApprox() error {
 }
 
 func e8Bounded() error {
-	base, err := mvclb.New(2)
-	if err != nil {
-		return err
-	}
-	fmt.Print("MVC base family exhaustive verification (k=2)... ")
-	if err := lbfamily.Verify(base); err != nil {
-		return err
-	}
-	fmt.Println("OK")
 	fam, err := boundedlb.NewFamily(2, 3)
 	if err != nil {
 		return err
 	}
+	fmt.Print("MVC base family exhaustive verification (k=2)... ")
+	if err := lbfamily.Verify(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
 	x := comm.NewBits(4)
 	x.Set(0, true)
 	inst, err := fam.BuildInstance(x, x)
@@ -252,6 +335,24 @@ func e8Bounded() error {
 	g := inst.Result.Graph
 	fmt.Printf("derived bounded-degree instance: n'=%d, maxDeg=%d (<=5), cut=%d, alpha-shift=%d\n",
 		g.N(), g.MaxDegree(), inst.Result.CutSize, inst.Result.AlphaShift)
+	return nil
+}
+
+func e9BoundedReductions() error {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.RandomRegular(12, 3, rng)
+	if err != nil {
+		return err
+	}
+	reduced := boundedlb.MDSReduction(g)
+	fmt.Printf("MDS reduction (Thm 3.3): n=%d maxDeg=%d -> n=%d maxDeg=%d (<= 2x)\n",
+		g.N(), g.MaxDegree(), reduced.N(), reduced.MaxDegree())
+	if reduced.MaxDegree() > 2*g.MaxDegree() {
+		return fmt.Errorf("degree blow-up in MDS reduction")
+	}
+	spanner := boundedlb.SpannerReduction(g)
+	fmt.Printf("2-spanner reduction (Thm 3.4): n=%d maxDeg=%d -> n=%d maxDeg=%d\n",
+		g.N(), g.MaxDegree(), spanner.N(), spanner.MaxDegree())
 	return nil
 }
 
@@ -284,15 +385,40 @@ func e10ApproxMaxIS() error {
 	return nil
 }
 
+func e11ApproxMaxISLinear() error {
+	fam, err := apxmaxislb.NewLinear(apxmaxislb.Params{K: 2, L: 2, T: 1})
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(2)
+	x.Set(0, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	alpha, _, err := solver.MaxIndependentSetSize(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("linear MaxIS variant (Thm 4.2): alpha=%d, NO size=%d, gap ratio %.4f -> 5/6\n",
+		alpha, fam.NoSize(), float64(fam.NoSize())/float64(alpha))
+	return nil
+}
+
 func e12TwoMDS() error {
-	c, err := cover.Find(4, 12, 2, 7, 500)
+	p, err := kmdsParams()
 	if err != nil {
 		return err
 	}
-	fam, err := kmdslb.NewTwoMDS(kmdslb.Params{Collection: c, R: 2})
+	fam, err := kmdslb.NewTwoMDS(p)
 	if err != nil {
 		return err
 	}
+	fmt.Print("Definition 1.1 exhaustive verification (T=4)... ")
+	if err := lbfamily.Verify(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
 	x := comm.NewBits(4)
 	x.Set(1, true)
 	g, err := fam.Build(x, x)
@@ -313,6 +439,136 @@ func e12TwoMDS() error {
 		return err
 	}
 	fmt.Printf("2-MDS gap (Thm 4.4): YES weight=%d, NO weight=%d (> r=2)\n", yes, no)
+	return nil
+}
+
+func e13KMDS() error {
+	p, err := kmdsParams()
+	if err != nil {
+		return err
+	}
+	fam, err := kmdslb.NewKMDS(p, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print("Definition 1.1 sampled verification (k=3, T=4)... ")
+	if err := lbfamily.VerifySampled(fam, rand.New(rand.NewSource(seed)), 20); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	x := comm.NewBits(4)
+	x.Set(2, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	ok, err := fam.Predicate(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("k-MDS (Thm 4.5): subdivided instance n=%d, weight-2 3-dominating set on intersecting inputs: %v\n",
+		g.N(), ok)
+	return nil
+}
+
+func e14NodeSteiner() error {
+	p, err := kmdsParams()
+	if err != nil {
+		return err
+	}
+	fam, err := kmdslb.NewNodeSteiner(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print("Definition 1.1 exhaustive verification (T=4)... ")
+	if err := lbfamily.Verify(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	x := comm.NewBits(4)
+	x.Set(2, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	yes, err := solver.NodeWeightedSteinerEnum(g, fam.Terminals())
+	if err != nil {
+		return err
+	}
+	zero := comm.NewBits(4)
+	g0, err := fam.Build(zero, zero)
+	if err != nil {
+		return err
+	}
+	no, err := solver.NodeWeightedSteinerEnum(g0, fam.Terminals())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node-Steiner gap (Thm 4.6): YES weight=%d, NO weight=%d (> r=%d)\n", yes, no, p.R)
+	return nil
+}
+
+func e15DirSteiner() error {
+	p, err := kmdsParams()
+	if err != nil {
+		return err
+	}
+	fam, err := kmdslb.NewDirSteiner(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print("Definition 1.1 exhaustive verification (T=4, directed)... ")
+	if err := lbfamily.VerifyDigraph(fam); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	x := comm.NewBits(4)
+	x.Set(0, true)
+	d, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	ok, err := fam.Predicate(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("directed Steiner (Thm 4.7): weight-2 tree rooted at R on intersecting inputs: %v\n", ok)
+	return nil
+}
+
+func e16Aggregate() error {
+	p, err := kmdsParams()
+	if err != nil {
+		return err
+	}
+	fam, err := kmdslb.NewRestricted(p)
+	if err != nil {
+		return err
+	}
+	x := comm.NewBits(4)
+	x.Set(0, true)
+	g, err := fam.Build(x, x)
+	if err != nil {
+		return err
+	}
+	side := make([]byte, g.N())
+	alice, bob := fam.Sides()
+	for _, v := range alice {
+		side[v] = aggregate.OwnerAlice
+	}
+	for _, v := range bob {
+		side[v] = aggregate.OwnerBob
+	}
+	for _, v := range fam.SharedElements() {
+		side[v] = aggregate.OwnerShared
+	}
+	res, err := aggregate.SimulateTwoParty(g, aggregate.GreedyDominatingSet{}, side, 16)
+	if err != nil {
+		return err
+	}
+	perRoundPerElement := float64(res.TwoPartyBits) / float64(res.Rounds) / float64(len(fam.SharedElements()))
+	fmt.Printf("aggregate simulation (Thm 4.8): %d rounds, %d two-party bits, %.1f bits/round/element (O(log n))\n",
+		res.Rounds, res.TwoPartyBits, perRoundPerElement)
 	return nil
 }
 
@@ -345,5 +601,45 @@ func e17Limits() error {
 		return err
 	}
 	fmt.Printf("Claim 5.5 on the max-cut family: ratio %.3f (>=2/3) using %d bits\n", cutRes.Ratio, cutRes.Bits)
+	return nil
+}
+
+func e18PLS() error {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Gnp(16, 0.4, rng)
+	for !g.IsConnected() {
+		g = graph.Gnp(16, 0.4, rng)
+	}
+	inst := pls.NewInstance(g)
+	for _, e := range g.Edges() {
+		if err := inst.MarkH(e.U, e.V); err != nil {
+			return err
+		}
+	}
+	inst.S, inst.T = 0, g.N()-1
+	inst.K = 1
+	schemes := []pls.Scheme{
+		pls.Connectivity{}, pls.STConnectivity{}, pls.CycleContainment{},
+		pls.WdistAtLeast{}, pls.MatchingAtLeast{},
+	}
+	maxBits, proved := 0, 0
+	for _, s := range schemes {
+		labels, ok, err := s.Prove(inst)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		proved++
+		if !pls.Accepts(s, inst, labels) {
+			return fmt.Errorf("%s rejected honest labels", s.Name())
+		}
+		if bits := pls.ProofBits(inst, labels); bits > maxBits {
+			maxBits = bits
+		}
+	}
+	fmt.Printf("proof labeling schemes (Claims 5.12-5.13): %d/%d schemes proved, max proof %d bits\n",
+		proved, len(schemes), maxBits)
 	return nil
 }

@@ -56,6 +56,17 @@ func BitsFromSlice(vals []bool) Bits {
 	return b
 }
 
+// OnesBits returns the all-ones bit string of length n — the "corner"
+// input the family verifiers spot-check alongside the all-zeros NewBits.
+func OnesBits(n int) Bits {
+	b := NewBits(n)
+	for i := range b.w {
+		b.w[i] = ^uint64(0)
+	}
+	b.clearTail()
+	return b
+}
+
 // RandomBits returns a uniformly random length-n bit string drawn from rng.
 func RandomBits(n int, rng *rand.Rand) Bits {
 	b := NewBits(n)

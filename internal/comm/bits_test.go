@@ -193,3 +193,25 @@ func TestForEachDiff(t *testing.T) {
 		t.Fatalf("multi-word diff %v", idx)
 	}
 }
+
+func TestOnesBits(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		b := OnesBits(n)
+		if b.Len() != n {
+			t.Fatalf("OnesBits(%d).Len() = %d", n, b.Len())
+		}
+		for i := 0; i < n; i++ {
+			if !b.Get(i) {
+				t.Fatalf("OnesBits(%d) bit %d is 0", n, i)
+			}
+		}
+		// The tail beyond n must stay clear so Equal/String behave.
+		manual := NewBits(n)
+		for i := 0; i < n; i++ {
+			manual.Set(i, true)
+		}
+		if !b.Equal(manual) {
+			t.Fatalf("OnesBits(%d) != manually set ones", n)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"congesthard/internal/comm"
 	"congesthard/internal/expander"
 	"congesthard/internal/graph"
+	"congesthard/internal/lbfamily"
 	"congesthard/internal/solver"
 )
 
@@ -199,5 +200,38 @@ func TestSpannerReduction(t *testing.T) {
 	// span themselves... the exact optimum on P4's reduction is 6.
 	if w != 6 {
 		t.Errorf("min 2-spanner weight = %d, want 6", w)
+	}
+}
+
+// TestFamilyDefinition11Base: the lbfamily.Family delegation verifies the
+// Section 3 base construction exhaustively (delta-driven through the
+// mvclb opt-in), the surface E8 relies on before applying the pipeline.
+func TestFamilyDefinition11Base(t *testing.T) {
+	fam, err := NewFamily(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lbf lbfamily.Family = fam
+	if lbf.Name() != "bounded-maxis" {
+		t.Errorf("name %q", lbf.Name())
+	}
+	if _, ok := lbf.(lbfamily.DeltaFamily); !ok {
+		t.Fatal("boundedlb family does not opt into DeltaFamily")
+	}
+	if err := lbfamily.Verify(lbf); err != nil {
+		t.Fatal(err)
+	}
+	// Build must return the base graph BuildInstance derives from.
+	x, _ := comm.BitsFromUint64(4, 0b0110)
+	g, err := lbf.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := fam.Base.Build(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Signature() != base.Signature() {
+		t.Error("Family.Build diverges from Base.Build")
 	}
 }

@@ -120,8 +120,11 @@ func (f *Family) N() int { return numSpecials + 4*f.k + f.Boxes()*(2+6*f.k) }
 // for boxes c < log(k) the A1/B1 rows (bit position c), for the rest the
 // A2/B2 rows (bit position c - log(k)). Slots d < k/2 are A-side, the rest
 // B-side; slot d is the d-th index (in increasing order) whose relevant bit
-// equals 1 for q = QT and 0 for q = QF.
-func (f *Family) Wheel(c int, q Q, d int) int {
+// equals 1 for q = QT and 0 for q = QF. An unresolvable slot (a
+// malformed parameterization) is reported as an error, which Build
+// propagates so verification surfaces it as a failure instead of a panic
+// crashing the worker pool.
+func (f *Family) Wheel(c int, q Q, d int) (int, error) {
 	bit := c
 	firstRows := true
 	if c >= f.logK {
@@ -143,19 +146,19 @@ func (f *Family) Wheel(c int, q Q, d int) int {
 			if seen == rank {
 				switch {
 				case firstRows && aSide:
-					return f.A1(i)
+					return f.A1(i), nil
 				case firstRows && !aSide:
-					return f.B1(i)
+					return f.B1(i), nil
 				case !firstRows && aSide:
-					return f.A2(i)
+					return f.A2(i), nil
 				default:
-					return f.B2(i)
+					return f.B2(i), nil
 				}
 			}
 			seen++
 		}
 	}
-	panic(fmt.Sprintf("wheel slot (c=%d q=%d d=%d) unresolved", c, q, d))
+	return -1, fmt.Errorf("wheel slot (c=%d q=%d d=%d) unresolved", c, q, d)
 }
 
 // Func returns ¬DISJ.
@@ -187,8 +190,9 @@ func (f *Family) AliceSide() []bool {
 	return side
 }
 
-// BuildFixed constructs the input-independent digraph.
-func (f *Family) BuildFixed() *graph.Digraph {
+// BuildFixed constructs the input-independent digraph. It fails only on a
+// malformed parameterization (an unresolvable wheel slot).
+func (f *Family) BuildFixed() (*graph.Digraph, error) {
 	d := graph.NewDigraph(f.N())
 	k, boxes := f.k, f.Boxes()
 
@@ -212,7 +216,10 @@ func (f *Family) BuildFixed() *graph.Digraph {
 				launch := f.Launch(c, q, slot)
 				skip := f.Skip(c, q, slot)
 				burn := f.Burn(c, q, slot)
-				wheel := f.Wheel(c, q, slot)
+				wheel, err := f.Wheel(c, q, slot)
+				if err != nil {
+					return nil, err
+				}
 				d.MustAddArc(launch, skip)
 				d.MustAddArc(launch, wheel)
 				d.MustAddArc(wheel, burn)
@@ -244,7 +251,7 @@ func (f *Family) BuildFixed() *graph.Digraph {
 			}
 		}
 	}
-	return d
+	return d, nil
 }
 
 // Build constructs G_{x,y}: input bit x_{(i,j)} adds the arc a₁^i -> a₂^j
@@ -253,7 +260,10 @@ func (f *Family) Build(x, y comm.Bits) (*graph.Digraph, error) {
 	if x.Len() != f.K() || y.Len() != f.K() {
 		return nil, fmt.Errorf("inputs must have length %d, got %d and %d", f.K(), x.Len(), y.Len())
 	}
-	d := f.BuildFixed()
+	d, err := f.BuildFixed()
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < f.k; i++ {
 		for j := 0; j < f.k; j++ {
 			idx := comm.PairIndex(i, j, f.k)

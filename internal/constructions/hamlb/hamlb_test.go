@@ -29,7 +29,10 @@ func TestStructureCounts(t *testing.T) {
 	if f.Boxes() != 2 {
 		t.Errorf("boxes = %d, want 2", f.Boxes())
 	}
-	d := f.BuildFixed()
+	d, err := f.BuildFixed()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// start has exactly one out-arc (to g_0) and none in.
 	if d.OutDegree(f.Start()) != 1 || d.InDegree(f.Start()) != 0 {
 		t.Error("start arc structure wrong")
@@ -42,26 +45,35 @@ func TestStructureCounts(t *testing.T) {
 	}
 }
 
+func mustWheel(t *testing.T, f *Family, c int, q Q, d int) int {
+	t.Helper()
+	v, err := f.Wheel(c, q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestWheelAliasing(t *testing.T) {
 	f, _ := New(4)
 	// Box 0 handles bit 0 of A1/B1. Lane q=t slots 0..1 are the A1
 	// vertices with bit0 = 1, i.e. indices 1, 3.
-	if got := f.Wheel(0, QT, 0); got != f.A1(1) {
+	if got := mustWheel(t, f, 0, QT, 0); got != f.A1(1) {
 		t.Errorf("wheel(0,t,0) = %d, want a1[1]=%d", got, f.A1(1))
 	}
-	if got := f.Wheel(0, QT, 1); got != f.A1(3) {
+	if got := mustWheel(t, f, 0, QT, 1); got != f.A1(3) {
 		t.Errorf("wheel(0,t,1) = %d, want a1[3]", got)
 	}
 	// Slots k/2.. are B1 with bit0 = 1.
-	if got := f.Wheel(0, QT, 2); got != f.B1(1) {
+	if got := mustWheel(t, f, 0, QT, 2); got != f.B1(1) {
 		t.Errorf("wheel(0,t,2) = %d, want b1[1]", got)
 	}
 	// Lane q=f slot 0: bit0 = 0 -> index 0.
-	if got := f.Wheel(0, QF, 0); got != f.A1(0) {
+	if got := mustWheel(t, f, 0, QF, 0); got != f.A1(0) {
 		t.Errorf("wheel(0,f,0) = %d, want a1[0]", got)
 	}
 	// Box logk = 2 handles bit 0 of A2/B2.
-	if got := f.Wheel(2, QT, 0); got != f.A2(1) {
+	if got := mustWheel(t, f, 2, QT, 0); got != f.A2(1) {
 		t.Errorf("wheel(2,t,0) = %d, want a2[1]", got)
 	}
 	// Every row vertex appears as a wheel exactly log(k) times.
@@ -69,7 +81,7 @@ func TestWheelAliasing(t *testing.T) {
 	for c := 0; c < f.Boxes(); c++ {
 		for _, q := range []Q{QT, QF} {
 			for d := 0; d < 4; d++ {
-				count[f.Wheel(c, q, d)]++
+				count[mustWheel(t, f, c, q, d)]++
 			}
 		}
 	}
@@ -246,5 +258,23 @@ func TestBuildRejectsWrongLength(t *testing.T) {
 	f, _ := New(2)
 	if _, err := f.Build(comm.NewBits(5), comm.NewBits(4)); err == nil {
 		t.Error("wrong input length accepted")
+	}
+}
+
+// TestMalformedWheelSurfacesAsError is the regression test for the former
+// panic at the wheel-slot resolution: a malformed parameterization (k not
+// a power of two, bypassing New's validation) must surface as an error
+// from Wheel/BuildFixed/Build — a verification failure — instead of
+// crashing the verifier's worker pool.
+func TestMalformedWheelSurfacesAsError(t *testing.T) {
+	bad := &Family{k: 3, logK: 1} // only reachable by skipping New
+	if _, err := bad.Wheel(0, QT, 2); err == nil {
+		t.Error("unresolvable wheel slot did not error")
+	}
+	if _, err := bad.BuildFixed(); err == nil {
+		t.Error("BuildFixed on malformed family did not error")
+	}
+	if _, err := bad.Build(comm.NewBits(9), comm.NewBits(9)); err == nil {
+		t.Error("Build on malformed family did not error")
 	}
 }

@@ -15,27 +15,75 @@ type EdgeDelta struct {
 	Add  bool
 }
 
+// VertexDelta records one vertex-weight mutation in the same remove/add
+// currency as EdgeDelta: vertex V either took on weight W (Add) or gave
+// up weight W (!Add), so a weight change is a remove of the old weight
+// followed by an add of the new one. Incremental observers fold each
+// entry into the affected side's HashWithin with one VertexHash XOR.
+type VertexDelta struct {
+	V   int
+	W   int64
+	Add bool
+}
+
+// vwChange is the undo-log form of a vertex-weight mutation: Reset
+// restores from (the weight at MarkBase time for this entry).
+type vwChange struct {
+	v    int
+	from int64
+}
+
 // StartJournal begins recording edge mutations (ToggleEdge, SetEdgeWeight,
-// AddEdge variants) into an internal journal readable via Journal. Vertex
-// mutations (AddVertex, SetVertexWeight) are not journaled; incremental
-// observers require a fixed vertex set, which is exactly the Definition 1.1
-// condition 1 the verifier's families guarantee.
+// AddEdge variants) and vertex-weight mutations (SetVertexWeight) into
+// internal journals readable via Journal and VertexJournal. Vertex
+// additions (AddVertex) are not journaled; incremental observers require a
+// fixed vertex set, which is exactly the Definition 1.1 condition 1 the
+// verifier's families guarantee.
 func (g *Graph) StartJournal() {
 	g.journalOn = true
 	g.journal = g.journal[:0]
+	g.vwJournal = g.vwJournal[:0]
 }
 
-// Journal returns the mutations recorded since the last ClearJournal (or
-// StartJournal). The slice is internal storage: read it, then ClearJournal.
+// Journal returns the edge mutations recorded since the last ClearJournal
+// (or StartJournal). The slice is internal storage: read it, then
+// ClearJournal.
 func (g *Graph) Journal() []EdgeDelta { return g.journal }
 
-// ClearJournal drops the recorded mutations while keeping recording on.
-func (g *Graph) ClearJournal() { g.journal = g.journal[:0] }
+// VertexJournal returns the vertex-weight mutations recorded since the
+// last ClearJournal (or StartJournal); internal storage, like Journal.
+func (g *Graph) VertexJournal() []VertexDelta { return g.vwJournal }
 
-// StopJournal stops recording and drops the journal.
+// ClearJournal drops the recorded mutations while keeping recording on.
+func (g *Graph) ClearJournal() {
+	g.journal = g.journal[:0]
+	g.vwJournal = g.vwJournal[:0]
+}
+
+// StopJournal stops recording and drops the journals.
 func (g *Graph) StopJournal() {
 	g.journalOn = false
 	g.journal = nil
+	g.vwJournal = nil
+}
+
+// setVW applies a vertex-weight change, journaling it as a remove/add
+// pair and logging the prior weight for Reset. Equal-weight sets are
+// no-ops so journals only carry real deltas.
+func (g *Graph) setVW(v int, w int64, logUndo bool) {
+	old := g.vw[v]
+	if old == w {
+		return
+	}
+	g.vw[v] = w
+	if g.journalOn {
+		g.vwJournal = append(g.vwJournal,
+			VertexDelta{V: v, W: old, Add: false},
+			VertexDelta{V: v, W: w, Add: true})
+	}
+	if g.undoOn && logUndo {
+		g.vwUndo = append(g.vwUndo, vwChange{v: v, from: old})
+	}
 }
 
 // record logs one edge mutation into the journal and undo log.
@@ -119,17 +167,17 @@ func halfIndex(nbrs []Half, v int) int {
 
 // removeHalf deletes entry i of u's adjacency list, preserving order.
 func (g *Graph) removeHalf(u, i int) {
-	nbrs := g.adj[u]
-	copy(nbrs[i:], nbrs[i+1:])
-	g.adj[u] = nbrs[:len(nbrs)-1]
+	g.adj[u] = removeHalfAt(g.adj[u], i)
 }
 
-// MarkBase records the current edge set as the base state: subsequent
-// ToggleEdge/SetEdgeWeight mutations are logged so Reset can replay them in
-// reverse. Calling MarkBase again moves the base to the current state.
+// MarkBase records the current edge set and vertex weights as the base
+// state: subsequent ToggleEdge/SetEdgeWeight/SetVertexWeight mutations are
+// logged so Reset can replay them in reverse. Calling MarkBase again moves
+// the base to the current state.
 func (g *Graph) MarkBase() {
 	g.undoOn = true
 	g.undo = g.undo[:0]
+	g.vwUndo = g.vwUndo[:0]
 }
 
 // Reset restores the graph to the MarkBase state by undoing the logged
@@ -149,6 +197,13 @@ func (g *Graph) Reset() error {
 		}
 	}
 	g.undo = g.undo[:0]
+	// Vertex weights are independent of the edge set, so the two undo
+	// streams replay separately; most-recent-first restores the weight a
+	// vertex carried at MarkBase even after repeated changes.
+	for i := len(g.vwUndo) - 1; i >= 0; i-- {
+		g.setVW(g.vwUndo[i].v, g.vwUndo[i].from, false)
+	}
+	g.vwUndo = g.vwUndo[:0]
 	return nil
 }
 

@@ -211,3 +211,61 @@ func TestToggleEdgeSteadyStateDoesNotAllocate(t *testing.T) {
 		t.Fatalf("steady-state ToggleEdge allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestVertexWeightJournalAndReset covers the vertex-weight side of the
+// delta machinery: SetVertexWeight journals remove/add pairs that fold
+// into HashWithin exactly, and Reset restores the MarkBase weights.
+func TestVertexWeightJournalAndReset(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	if err := g.SetVertexWeight(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	side := []bool{true, true, false, false}
+	aH := g.HashWithin(side)
+	bH := g.HashWithin([]bool{false, false, true, true})
+	g.StartJournal()
+	g.MarkBase()
+	steps := [][2]int64{{0, 5}, {2, 1}, {2, 4}, {3, 3}}
+	for _, s := range steps {
+		if err := g.SetVertexWeight(int(s[0]), s[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An equal-weight set must not journal.
+	before := len(g.VertexJournal())
+	if err := g.SetVertexWeight(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.VertexJournal()) != before {
+		t.Fatal("no-op SetVertexWeight was journaled")
+	}
+	for _, d := range g.VertexJournal() {
+		h := VertexHash(d.V, d.W)
+		if side[d.V] {
+			aH ^= h
+		} else {
+			bH ^= h
+		}
+	}
+	if aH != g.HashWithin(side) || bH != g.HashWithin([]bool{false, false, true, true}) {
+		t.Fatal("vertex-weight journal fold diverged from recomputed hashes")
+	}
+	g.ClearJournal()
+	if len(g.VertexJournal()) != 0 {
+		t.Fatal("ClearJournal kept vertex entries")
+	}
+	if err := g.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	wantW := []int64{1, 1, 9, 1}
+	for v, w := range wantW {
+		if g.VertexWeight(v) != w {
+			t.Fatalf("vertex %d weight %d after reset, want %d", v, g.VertexWeight(v), w)
+		}
+	}
+	// The reverting mutations were journaled for observers.
+	if len(g.VertexJournal()) == 0 {
+		t.Fatal("Reset did not journal reverting vertex deltas")
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import "fmt"
+
+// ArcDelta records one arc mutation: the arc (From, To) either became
+// present with weight W (Add) or was removed while carrying weight W
+// (!Add). Unlike EdgeDelta there is no canonicalization — direction is
+// part of the element's identity, matching ArcHash. Deltas are the
+// currency of the incremental observers built on top of the digraph: the
+// directed lower-bound-family verifier folds them into its structural
+// hashes in O(1) per delta instead of rehashing the whole digraph per
+// input pair.
+type ArcDelta struct {
+	From, To int
+	W        int64
+	Add      bool
+}
+
+// StartJournal begins recording arc mutations (ToggleArc, AddArc variants)
+// into an internal journal readable via Journal. Vertex mutations are not
+// journaled; incremental observers require a fixed vertex set, which is
+// exactly the Definition 1.1 condition 1 the verifier's families
+// guarantee.
+func (d *Digraph) StartJournal() {
+	d.journalOn = true
+	d.journal = d.journal[:0]
+}
+
+// Journal returns the mutations recorded since the last ClearJournal (or
+// StartJournal). The slice is internal storage: read it, then ClearJournal.
+func (d *Digraph) Journal() []ArcDelta { return d.journal }
+
+// ClearJournal drops the recorded mutations while keeping recording on.
+func (d *Digraph) ClearJournal() { d.journal = d.journal[:0] }
+
+// StopJournal stops recording and drops the journal.
+func (d *Digraph) StopJournal() {
+	d.journalOn = false
+	d.journal = nil
+}
+
+// record logs one arc mutation into the journal and undo log.
+func (d *Digraph) record(u, v int, w int64, add, logUndo bool) {
+	if !d.journalOn && !(d.undoOn && logUndo) {
+		return
+	}
+	delta := ArcDelta{From: u, To: v, W: w, Add: add}
+	if d.journalOn {
+		d.journal = append(d.journal, delta)
+	}
+	if d.undoOn && logUndo {
+		d.undo = append(d.undo, delta)
+	}
+}
+
+// ToggleArc adds the arc (u, v) with weight w if it is absent and removes
+// it (ignoring w) if it is present, reporting whether the arc is present
+// after the call. This is the directed verifier's delta primitive: unlike
+// AddArc it keeps a patchable Freeze snapshot (see FreezePatchable) valid
+// by splicing the affected out-window in place, O(outdeg), instead of
+// discarding the snapshot.
+func (d *Digraph) ToggleArc(u, v int, w int64) (added bool, err error) {
+	return d.toggle(u, v, w, true)
+}
+
+func (d *Digraph) toggle(u, v int, w int64, logUndo bool) (bool, error) {
+	if err := d.checkVertex(u); err != nil {
+		return false, err
+	}
+	if err := d.checkVertex(v); err != nil {
+		return false, err
+	}
+	if u == v {
+		return false, fmt.Errorf("self loop at vertex %d", u)
+	}
+	if i := halfIndex(d.out[u], v); i >= 0 {
+		oldW := d.out[u][i].Weight
+		d.out[u] = removeHalfAt(d.out[u], i)
+		d.in[v] = removeHalfAt(d.in[v], halfIndex(d.in[v], u))
+		if d.patched != nil {
+			d.patched.spliceRemove(u, v)
+			d.patched.edgesStale = true
+		}
+		d.record(u, v, oldW, false, logUndo)
+		return false, nil
+	}
+	d.out[u] = append(d.out[u], Half{To: v, Weight: w})
+	d.in[v] = append(d.in[v], Half{To: u, Weight: w})
+	if d.patched != nil {
+		if !d.patched.spliceInsert(u, v, w) {
+			// The out-window ran out of slack: rebuild the patchable
+			// snapshot with doubled slack, amortized O(1) per toggle.
+			d.patchSlack *= 2
+			d.patched = buildDirCSRSlack(d, d.patchSlack)
+		} else {
+			d.patched.edgesStale = true
+		}
+	}
+	d.record(u, v, w, true, logUndo)
+	return true, nil
+}
+
+// removeHalfAt deletes entry i of an adjacency list, preserving order.
+func removeHalfAt(nbrs []Half, i int) []Half {
+	copy(nbrs[i:], nbrs[i+1:])
+	return nbrs[:len(nbrs)-1]
+}
+
+// MarkBase records the current arc set as the base state: subsequent
+// ToggleArc mutations are logged so Reset can replay them in reverse.
+// Calling MarkBase again moves the base to the current state.
+func (d *Digraph) MarkBase() {
+	d.undoOn = true
+	d.undo = d.undo[:0]
+}
+
+// Reset restores the digraph to the MarkBase state by undoing the logged
+// mutations most recent first — O(delta) work, not O(|V|+|A|) — keeping
+// any patchable snapshot valid and emitting the reverting mutations to the
+// journal so incremental observers stay consistent. It is a no-op without
+// a preceding MarkBase.
+func (d *Digraph) Reset() error {
+	for i := len(d.undo) - 1; i >= 0; i-- {
+		delta := d.undo[i]
+		nowPresent, err := d.toggle(delta.From, delta.To, delta.W, false)
+		if err != nil {
+			return err
+		}
+		if nowPresent == delta.Add {
+			return fmt.Errorf("reset out of sync at arc (%d,%d)", delta.From, delta.To)
+		}
+	}
+	d.undo = d.undo[:0]
+	return nil
+}
+
+// FreezePatchable returns a worker-private out-adjacency snapshot that
+// ToggleArc keeps valid by splicing windows in place, so steady-state
+// delta workloads never re-freeze; while it is live, HasArc/ArcWeight are
+// O(log outdeg) binary searches. Windows carry slack capacity; an insert
+// overflowing its window triggers a one-off rebuild with doubled slack.
+// The snapshot's Edges() renders arcs as Edge{U: From, V: To}. It is not
+// safe for concurrent use, and mutators other than ToggleArc drop it.
+func (d *Digraph) FreezePatchable() *CSR {
+	if d.patched == nil {
+		if d.patchSlack == 0 {
+			d.patchSlack = 4
+		}
+		d.patched = buildDirCSRSlack(d, d.patchSlack)
+	}
+	return d.patched
+}

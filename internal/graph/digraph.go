@@ -19,6 +19,17 @@ type Digraph struct {
 	out [][]Half
 	in  [][]Half
 	vw  []int64
+
+	// patched is the worker-private FreezePatchable out-adjacency snapshot,
+	// spliced in place by ToggleArc and dropped by other mutators.
+	patched    *CSR
+	patchSlack int
+
+	// journal/undo support the delta machinery in deltadigraph.go.
+	journal   []ArcDelta
+	journalOn bool
+	undo      []ArcDelta
+	undoOn    bool
 }
 
 // NewDigraph returns a directed graph with n isolated vertices.
@@ -72,6 +83,8 @@ func (d *Digraph) AddWeightedArc(u, v int, w int64) error {
 	}
 	d.out[u] = append(d.out[u], Half{To: v, Weight: w})
 	d.in[v] = append(d.in[v], Half{To: u, Weight: w})
+	d.patched = nil
+	d.record(u, v, w, true, true)
 	return nil
 }
 
@@ -85,10 +98,14 @@ func (d *Digraph) MustAddWeightedArc(u, v int, w int64) {
 	}
 }
 
-// HasArc reports whether the arc (u, v) exists.
+// HasArc reports whether the arc (u, v) exists. On a patchable snapshot
+// (FreezePatchable) this is a binary search, O(log outdeg).
 func (d *Digraph) HasArc(u, v int) bool {
-	if u < 0 || u >= len(d.out) {
+	if u < 0 || u >= len(d.out) || v < 0 || v >= len(d.out) {
 		return false
+	}
+	if d.patched != nil {
+		return d.patched.Rank(u, v) >= 0
 	}
 	for _, h := range d.out[u] {
 		if h.To == v {
@@ -102,6 +119,9 @@ func (d *Digraph) HasArc(u, v int) bool {
 func (d *Digraph) ArcWeight(u, v int) (int64, bool) {
 	if u < 0 || u >= len(d.out) {
 		return 0, false
+	}
+	if d.patched != nil {
+		return d.patched.EdgeWeight(u, v)
 	}
 	for _, h := range d.out[u] {
 		if h.To == v {

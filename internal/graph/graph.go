@@ -46,11 +46,15 @@ type Graph struct {
 	patched    *CSR
 	patchSlack int
 
-	// journal/undo support the delta machinery in delta.go.
+	// journal/undo support the delta machinery in delta.go. Vertex-weight
+	// mutations are journaled separately from edge mutations (vwJournal /
+	// vwUndo) because they fold into different structural hashes.
 	journal   []EdgeDelta
 	journalOn bool
 	undo      []EdgeDelta
 	undoOn    bool
+	vwJournal []VertexDelta
+	vwUndo    []vwChange
 }
 
 // New returns an undirected graph with n isolated vertices, all of vertex
@@ -239,12 +243,14 @@ func (g *Graph) NeighborIDs(v int) []int {
 // VertexWeight returns the weight of vertex v.
 func (g *Graph) VertexWeight(v int) int64 { return g.vw[v] }
 
-// SetVertexWeight sets the weight of vertex v.
+// SetVertexWeight sets the weight of vertex v. The change is journaled
+// (see StartJournal), so delta-family constructions whose inputs drive
+// vertex weights can be verified incrementally.
 func (g *Graph) SetVertexWeight(v int, w int64) error {
 	if err := g.checkVertex(v); err != nil {
 		return err
 	}
-	g.vw[v] = w
+	g.setVW(v, w, true)
 	return nil
 }
 

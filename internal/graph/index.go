@@ -26,6 +26,11 @@ type CSR struct {
 	// edgesStale marks a patchable snapshot whose canonical edge list has
 	// not been rebuilt since the last window splice; Edges rebuilds lazily.
 	edgesStale bool
+
+	// directed marks a Digraph snapshot: windows hold out-neighbors, and
+	// Edges() renders every arc as Edge{U: from, V: to} instead of the
+	// canonical U < V undirected form.
+	directed bool
 }
 
 // end returns the exclusive end of v's window. Dense snapshots (Freeze)
@@ -51,7 +56,7 @@ func (g *Graph) Freeze() *CSR {
 }
 
 func buildCSR(g *Graph) *CSR {
-	c := fillCSR(&CSR{}, g, 0)
+	c := fillCSR(&CSR{}, g.adj, 0)
 	c.rebuildEdges()
 	return c
 }
@@ -60,28 +65,36 @@ func buildCSR(g *Graph) *CSR {
 // slots so in-place insertion does not overflow immediately. The canonical
 // edge list is left stale and rebuilt lazily by Edges.
 func buildCSRSlack(g *Graph, slack int) *CSR {
-	c := fillCSR(&CSR{}, g, slack)
+	c := fillCSR(&CSR{}, g.adj, slack)
 	c.edgesStale = true
 	return c
 }
 
-func fillCSR(c *CSR, g *Graph, slack int) *CSR {
-	n := len(g.adj)
+// buildDirCSRSlack builds a patchable out-adjacency snapshot of a digraph;
+// windows hold out-neighbors sorted by id.
+func buildDirCSRSlack(d *Digraph, slack int) *CSR {
+	c := fillCSR(&CSR{directed: true}, d.out, slack)
+	c.edgesStale = true
+	return c
+}
+
+func fillCSR(c *CSR, adj [][]Half, slack int) *CSR {
+	n := len(adj)
 	c.offsets = make([]int32, n+1)
 	total := 0
-	for v, nbrs := range g.adj {
+	for v, nbrs := range adj {
 		total += len(nbrs) + slack
 		c.offsets[v+1] = int32(total)
 	}
 	if slack > 0 {
 		c.ends = make([]int32, n)
-		for v, nbrs := range g.adj {
+		for v, nbrs := range adj {
 			c.ends[v] = c.offsets[v] + int32(len(nbrs))
 		}
 	}
 	c.nbr = make([]int32, total)
 	c.wt = make([]int64, total)
-	for v, nbrs := range g.adj {
+	for v, nbrs := range adj {
 		base := int(c.offsets[v])
 		for i, h := range nbrs {
 			c.nbr[base+i] = int32(h.To)
@@ -94,7 +107,9 @@ func fillCSR(c *CSR, g *Graph, slack int) *CSR {
 }
 
 // rebuildEdges regenerates the canonical sorted edge list from the sorted
-// windows (no extra sort needed).
+// windows (no extra sort needed). Directed snapshots render every window
+// entry (the arc list sorted by (From, To)); undirected ones keep the
+// canonical U < V form.
 func (c *CSR) rebuildEdges() {
 	c.edges = c.edges[:0]
 	if c.edges == nil {
@@ -102,7 +117,7 @@ func (c *CSR) rebuildEdges() {
 	}
 	for v := 0; v < c.N(); v++ {
 		for i := c.offsets[v]; i < c.end(v); i++ {
-			if to := int(c.nbr[i]); v < to {
+			if to := int(c.nbr[i]); c.directed || v < to {
 				c.edges = append(c.edges, Edge{U: v, V: to, Weight: c.wt[i]})
 			}
 		}
@@ -284,7 +299,11 @@ func EdgeHash(u, v int, w int64) uint64 {
 	return mix64(mix64(mix64(uint64(u)^edgeSeed)+uint64(v)) + uint64(w))
 }
 
-func vertexHash(v int, w int64) uint64 {
+// VertexHash returns the element hash of a labeled weighted vertex. Like
+// EdgeHash it is exported so incremental observers can fold vertex-weight
+// deltas (families whose inputs drive vertex weights rather than edges)
+// into HashWithin values with one XOR per change.
+func VertexHash(v int, w int64) uint64 {
 	return mix64(mix64(uint64(v)^vertexSeed) + uint64(w))
 }
 
@@ -303,7 +322,7 @@ func (g *Graph) HashWithin(within []bool) uint64 {
 	h := uint64(0)
 	for v, w := range g.vw {
 		if within[v] {
-			h ^= vertexHash(v, w)
+			h ^= VertexHash(v, w)
 		}
 	}
 	for u, nbrs := range g.adj {
@@ -340,7 +359,7 @@ func (d *Digraph) HashWithin(within []bool) uint64 {
 	h := uint64(0)
 	for v, w := range d.vw {
 		if within[v] {
-			h ^= vertexHash(v, w)
+			h ^= VertexHash(v, w)
 		}
 	}
 	for _, a := range d.Arcs() {

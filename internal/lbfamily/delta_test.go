@@ -7,10 +7,13 @@ import (
 
 	"congesthard/internal/comm"
 	"congesthard/internal/constructions/apxmaxislb"
+	"congesthard/internal/constructions/boundedlb"
+	"congesthard/internal/constructions/kmdslb"
 	"congesthard/internal/constructions/maxcutlb"
 	"congesthard/internal/constructions/mdslb"
 	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
+	"congesthard/internal/cover"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 )
@@ -46,7 +49,28 @@ func deltaFamilies(t *testing.T) []lbfamily.Family {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []lbfamily.Family{mds, cut, mvc, apx, steiner}
+	c, err := cover.Find(4, 12, 2, 7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := kmdslb.Params{Collection: c, R: 2}
+	twoMDS, err := kmdslb.NewTwoMDS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmds, err := kmdslb.NewKMDS(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeSteiner, err := kmdslb.NewNodeSteiner(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := boundedlb.NewFamily(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []lbfamily.Family{mds, cut, mvc, apx, steiner, twoMDS, kmds, nodeSteiner, bounded}
 }
 
 // TestDeltaMatchesRebuildPairForPair is the differential contract of the
@@ -238,13 +262,22 @@ func TestInconsistentApplyBitFallsBack(t *testing.T) {
 // TestDeltaVerifyAllocsPerPair is the allocation regression guard in the
 // spirit of congest's TestRunSteadyStateDoesNotAllocate: delta-enabled
 // exhaustive verification must stay O(1) allocations per input pair (the
-// per-worker arenas amortize to ~1 alloc/pair at k=2; the bound leaves
-// headroom for the runtime's noise, not for per-pair rebuilds, which cost
-// ~190 allocs/pair).
+// per-worker arenas amortize to ~1-2 marginal allocs/pair at k=2; the
+// bound additionally leaves room for per-worker setup — base build plus
+// oracle arena, paid once per worker, up to 16 workers on many-core
+// machines — but not for per-pair rebuilds, which cost ~190 allocs/pair).
 func TestDeltaVerifyAllocsPerPair(t *testing.T) {
 	for _, newFam := range []func() (lbfamily.Family, error){
 		func() (lbfamily.Family, error) { return mdslb.New(2) },
 		func() (lbfamily.Family, error) { return maxcutlb.New(2) },
+		func() (lbfamily.Family, error) {
+			c, err := cover.Find(4, 12, 2, 7, 500)
+			if err != nil {
+				return nil, err
+			}
+			return kmdslb.NewTwoMDS(kmdslb.Params{Collection: c, R: 2})
+		},
+		func() (lbfamily.Family, error) { return boundedlb.NewFamily(2, 3) },
 	} {
 		fam, err := newFam()
 		if err != nil {
@@ -256,8 +289,8 @@ func TestDeltaVerifyAllocsPerPair(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
-		if perPair := allocs / pairs; perPair > 8 {
-			t.Errorf("%s: %.1f allocs/pair (%.0f total for %.0f pairs), want <= 8",
+		if perPair := allocs / pairs; perPair > 16 {
+			t.Errorf("%s: %.1f allocs/pair (%.0f total for %.0f pairs), want <= 16",
 				fam.Name(), perPair, allocs, pairs)
 		}
 	}

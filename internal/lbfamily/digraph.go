@@ -2,38 +2,118 @@ package lbfamily
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"congesthard/internal/comm"
+	"congesthard/internal/graph"
 )
 
+// DeltaDigraphFamily is the directed analogue of DeltaFamily: G_{x,y} is a
+// fixed arc skeleton (BuildBase, the all-zeros instance) plus a bounded
+// set of arcs attached to each input bit, so the exhaustive verifier can
+// walk the 2^(2K) input pairs in Gray-code order and update one mutable
+// instance digraph in O(delta) per pair.
+//
+// Contract: ApplyBit(d, player, bit, val) transforms the instance of an
+// input whose (player, bit) is !val into the instance where it is val,
+// mutating arcs only (no vertex additions or vertex-weight changes) and
+// only through ToggleArc, so the digraph's arc-mutation journal captures
+// the delta. Before taking the delta path, VerifyDigraph spot-checks the
+// surface: BuildBase plus ApplyBit over every bit must reproduce Build's
+// all-ones instance hash-for-hash, else it falls back to rebuilding every
+// pair. Exhaustive pair-for-pair agreement of the two paths is asserted by
+// the package's differential tests for the in-repo directed families.
+type DeltaDigraphFamily interface {
+	DigraphFamily
+	// BuildBase constructs the all-zeros instance G_{0,0}.
+	BuildBase() (*graph.Digraph, error)
+	// ApplyBit applies the change of one input bit to val.
+	ApplyBit(d *graph.Digraph, player, bit int, val bool) error
+}
+
+// DigraphPredicateOracle is the directed analogue of PredicateOracle: a
+// reusable predicate evaluator a verification worker holds across many
+// pairs so predicate evaluation stops paying per-call allocation.
+type DigraphPredicateOracle interface {
+	Eval(d *graph.Digraph) (bool, error)
+}
+
+// DigraphOracleFamily is implemented by directed families whose predicate
+// can be evaluated through a reusable per-worker oracle. The oracle's
+// verdicts (and errors) must match Predicate exactly.
+type DigraphOracleFamily interface {
+	DigraphFamily
+	NewDigraphPredicateOracle() DigraphPredicateOracle
+}
+
 // VerifyDigraph is Verify for directed families (exhaustive; K <= 12).
+// Families implementing DeltaDigraphFamily are verified delta-driven: each
+// worker walks its column shard in Gray-code order over x for fixed y,
+// toggling only the changed bit's arcs between pairs and maintaining the
+// structural hashes incrementally from the arc journal. Everything
+// observable — the checks, the first-error choice and its message — is
+// identical to the rebuild-every-pair path, which remains the transparent
+// fallback.
 func VerifyDigraph(fam DigraphFamily) error {
 	k := fam.K()
 	if k > 12 {
-		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d", k)
+		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampledDigraph)", k)
 	}
 	inputs := make([]comm.Bits, 0, 1<<uint(k))
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyDigraphOver(fam, inputs, inputs)
+	return verifyDigraphOverMode(fam, inputs, inputs, false)
 }
 
-func verifyDigraphOver(fam DigraphFamily, xs, ys []comm.Bits) error {
+// VerifySampledDigraph checks Definition 1.1 for a directed family on up
+// to trials distinct random input pairs plus the all-zeros and all-ones
+// corners (random draws are deduplicated, like VerifySampled's).
+// Structural conditions (1-3) are checked pairwise across the sample.
+func VerifySampledDigraph(fam DigraphFamily, rng *rand.Rand, trials int) error {
+	k := fam.K()
+	ones := comm.OnesBits(k)
+	inputs := []comm.Bits{comm.NewBits(k), ones}
+	seen := map[string]bool{inputs[0].String(): true, ones.String(): true}
+	for i := 0; i < trials; i++ {
+		b := comm.RandomBits(k, rng)
+		if key := b.String(); !seen[key] {
+			seen[key] = true
+			inputs = append(inputs, b)
+		}
+	}
+	return verifyDigraphOverMode(fam, inputs, inputs, false)
+}
+
+func verifyDigraphOverMode(fam DigraphFamily, xs, ys []comm.Bits, forceRebuild bool) error {
 	side := fam.AliceSide()
+	if len(xs)*len(ys) == 0 {
+		return nil
+	}
+	outcomes, _ := collectDigraphOutcomes(fam, side, xs, ys, forceRebuild)
+	return scanDigraphOutcomes(fam, side, xs, ys, outcomes)
+}
+
+// collectDigraphOutcomes is directed verification phase 1: it computes
+// every pair's outcome, delta-driven when the family opts in (and the
+// delta machinery encounters no unexpected failure), rebuilding every
+// instance otherwise. The second return reports whether the delta path
+// produced the outcomes.
+func collectDigraphOutcomes(fam DigraphFamily, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, bool) {
 	bobSide := make([]bool, len(side))
 	for i, a := range side {
 		bobSide[i] = !a
 	}
-	f := fam.Func()
-	total := len(xs) * len(ys)
-	if total == 0 {
-		return nil
+	if !forceRebuild {
+		if df, ok := fam.(DeltaDigraphFamily); ok {
+			if outcomes, ok := computeDigraphPairsDelta(df, side, bobSide, xs, ys); ok {
+				return outcomes, true
+			}
+		}
 	}
-
-	// Same two-phase scheme as verifyOver: parallel workers record per-pair
-	// outcomes, a serial row-major pass reproduces the historical checks
-	// and error messages deterministically.
+	total := len(xs) * len(ys)
 	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
 		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
 		d, err := fam.Build(x, y)
@@ -51,7 +131,155 @@ func verifyDigraphOver(fam DigraphFamily, xs, ys []comm.Bits) error {
 		out.got, out.predErr = fam.Predicate(d)
 		return out.predErr == nil
 	})
+	return outcomes, false
+}
 
+// digraphDeltaSurfaceConsistent is the directed analogue of
+// deltaSurfaceConsistent: BuildBase plus ApplyBit(val = true) over every
+// bit of both players must reproduce Build's all-ones instance — same
+// vertex count, same cut hash, same induced-side hashes — before the
+// delta path is trusted.
+func digraphDeltaSurfaceConsistent(df DeltaDigraphFamily, side, bobSide []bool) bool {
+	k := df.K()
+	ones := comm.OnesBits(k)
+	want, err := df.Build(ones, ones)
+	if err != nil || want == nil || want.N() != len(side) {
+		return false
+	}
+	d, err := df.BuildBase()
+	if err != nil || d == nil || d.N() != len(side) {
+		return false
+	}
+	for _, player := range [2]int{PlayerX, PlayerY} {
+		for i := 0; i < k; i++ {
+			if err := df.ApplyBit(d, player, i, true); err != nil {
+				return false
+			}
+		}
+	}
+	return d.CutHash(side) == want.CutHash(side) &&
+		d.HashWithin(side) == want.HashWithin(side) &&
+		d.HashWithin(bobSide) == want.HashWithin(bobSide)
+}
+
+// computeDigraphPairsDelta is the delta-driven directed phase 1: the base
+// instance is built once and cloned per worker (cheaper than rebuilding
+// the skeleton arc by arc); each worker claims columns (fixed y) and
+// walks x across each column in reflected Gray-code order, folding the
+// journaled arc deltas into incrementally maintained cut/side hashes. Any
+// unexpected failure of the delta machinery reports ok = false and the
+// caller transparently falls back to the rebuild path, whose error
+// reporting is the historical reference.
+func computeDigraphPairsDelta(df DeltaDigraphFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, bool) {
+	if !digraphDeltaSurfaceConsistent(df, side, bobSide) {
+		return nil, false
+	}
+	base, err := df.BuildBase()
+	if err != nil || base == nil || base.N() != len(side) {
+		return nil, false
+	}
+	total := len(xs) * len(ys)
+	order := walkOrder(xs, df.K())
+	outcomes := make([]pairOutcome, total)
+	var nextCol, minErr atomic.Int64
+	minErr.Store(int64(total))
+	ok := atomic.Bool{}
+	ok.Store(true)
+	var wg sync.WaitGroup
+	for w := verifyWorkers(len(ys)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !digraphDeltaWorker(df, base.Clone(), side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr) {
+				ok.Store(false)
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes, ok.Load()
+}
+
+// digraphDeltaWorker claims columns until none remain, mirroring
+// deltaWorker arc-for-edge. It reports false when the delta machinery
+// itself failed and the caller must fall back.
+func digraphDeltaWorker(df DeltaDigraphFamily, d *graph.Digraph, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr *atomic.Int64) bool {
+	k := df.K()
+	d.FreezePatchable()
+	d.StartJournal()
+	curX, curY := comm.NewBits(k), comm.NewBits(k)
+	cutH := d.CutHash(side)
+	aH := d.HashWithin(side)
+	bH := d.HashWithin(bobSide)
+	n := d.N()
+	eval := df.Predicate
+	if of, ok := DigraphFamily(df).(DigraphOracleFamily); ok {
+		eval = of.NewDigraphPredicateOracle().Eval
+	}
+
+	// applyDiff toggles the bits on which cur and target differ and folds
+	// the journaled arc deltas into the three running hashes: O(1) per
+	// toggled arc, versus the O(|V|+|A| log |A|) rebuild-and-rehash per
+	// pair of the fallback path.
+	applyDiff := func(player int, cur, target comm.Bits) error {
+		var applyErr error
+		cur.ForEachDiff(target, func(i int) bool {
+			if err := df.ApplyBit(d, player, i, target.Get(i)); err != nil {
+				applyErr = err
+				return false
+			}
+			cur.Set(i, target.Get(i))
+			return true
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		for _, a := range d.Journal() {
+			h := graph.ArcHash(a.From, a.To, a.W)
+			switch {
+			case side[a.From] != side[a.To]:
+				cutH ^= h
+			case side[a.From]:
+				aH ^= h
+			default:
+				bH ^= h
+			}
+		}
+		d.ClearJournal()
+		return nil
+	}
+
+	for {
+		yi := int(nextCol.Add(1) - 1)
+		if yi >= len(ys) {
+			return true
+		}
+		if err := applyDiff(PlayerY, curY, ys[yi]); err != nil {
+			return false
+		}
+		for _, xi := range order {
+			if err := applyDiff(PlayerX, curX, xs[xi]); err != nil {
+				return false
+			}
+			idx := int64(xi)*int64(len(ys)) + int64(yi)
+			out := &outcomes[idx]
+			out.n = n
+			out.cutHash, out.aHash, out.bHash = cutH, aH, bH
+			if idx > minErr.Load() {
+				continue // a pair earlier in row-major order already failed
+			}
+			out.got, out.predErr = eval(d)
+			if out.predErr != nil {
+				storeMin(minErr, idx)
+			}
+		}
+	}
+}
+
+// scanDigraphOutcomes is directed verification phase 2: the serial
+// row-major pass, identical in order and messages to the historical
+// serial digraph verifier.
+func scanDigraphOutcomes(fam DigraphFamily, side []bool, xs, ys []comm.Bits, outcomes []pairOutcome) error {
+	f := fam.Func()
 	wantN := -1
 	var cutHash uint64
 	cutSeen := false

@@ -49,3 +49,32 @@ func VerifyRebuild(fam Family) error {
 	}
 	return verifyOverMode(fam, inputs, inputs, true)
 }
+
+// CollectDigraphOutcomesForTest is CollectOutcomesForTest for directed
+// families: phase 1 over xs × ys, delta-with-fallback or forced rebuild.
+func CollectDigraphOutcomesForTest(fam DigraphFamily, xs, ys []comm.Bits, forceRebuild bool) ([]OutcomeForTest, bool, error) {
+	outcomes, delta := collectDigraphOutcomes(fam, fam.AliceSide(), xs, ys, forceRebuild)
+	views := make([]OutcomeForTest, len(outcomes))
+	for i, o := range outcomes {
+		views[i] = OutcomeForTest{
+			N: o.n, CutHash: o.cutHash, AHash: o.aHash, BHash: o.bHash,
+			Got: o.got, BuildErr: o.buildErr, PredErr: o.predErr,
+		}
+	}
+	return views, delta, nil
+}
+
+// VerifyDigraphRebuild is VerifyDigraph with the delta path disabled;
+// differential tests compare its first error byte for byte against the
+// delta path's.
+func VerifyDigraphRebuild(fam DigraphFamily) error {
+	k := fam.K()
+	if k > 12 {
+		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampledDigraph)", k)
+	}
+	inputs := make([]comm.Bits, 0, 1<<uint(k))
+	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
+		return err
+	}
+	return verifyDigraphOverMode(fam, inputs, inputs, true)
+}

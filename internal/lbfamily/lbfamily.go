@@ -65,9 +65,9 @@ const (
 //
 // Contract: ApplyBit(g, player, bit, val) transforms the instance graph of
 // an input whose (player, bit) is !val into the instance graph where it is
-// val, mutating edges only (no vertex additions or vertex-weight changes)
-// and only through ToggleEdge/SetEdgeWeight, so the graph's mutation
-// journal captures the delta. Before taking the delta path, Verify
+// val, mutating edges and vertex weights only (no vertex additions) and
+// only through ToggleEdge/SetEdgeWeight/SetVertexWeight, so the graph's
+// mutation journals capture the delta. Before taking the delta path, Verify
 // spot-checks the surface: BuildBase plus ApplyBit over every bit must
 // reproduce Build's all-ones instance hash-for-hash, else it falls back
 // to rebuilding every pair. Exhaustive pair-for-pair agreement of the two
@@ -182,10 +182,7 @@ func Verify(fam Family) error {
 // the sample.
 func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 	k := fam.K()
-	ones := comm.NewBits(k)
-	for i := 0; i < k; i++ {
-		ones.Set(i, true)
-	}
+	ones := comm.OnesBits(k)
 	inputs := []comm.Bits{comm.NewBits(k), ones}
 	seen := map[string]bool{inputs[0].String(): true, ones.String(): true}
 	for i := 0; i < trials; i++ {
@@ -361,10 +358,7 @@ func computePairsDelta(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits)
 // historical error).
 func deltaSurfaceConsistent(df DeltaFamily, side, bobSide []bool) bool {
 	k := df.K()
-	ones := comm.NewBits(k)
-	for i := 0; i < k; i++ {
-		ones.Set(i, true)
-	}
+	ones := comm.OnesBits(k)
 	want, err := df.Build(ones, ones)
 	if err != nil || want == nil || want.N() != len(side) {
 		return false
@@ -406,9 +400,9 @@ func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order
 	}
 
 	// applyDiff toggles the bits on which cur and target differ and folds
-	// the journaled edge deltas into the three running hashes: O(1) per
-	// toggled edge, versus the O(|V|+|E|) rebuild-freeze-rehash per pair of
-	// the fallback path.
+	// the journaled edge and vertex-weight deltas into the three running
+	// hashes: O(1) per delta, versus the O(|V|+|E|) rebuild-freeze-rehash
+	// per pair of the fallback path.
 	applyDiff := func(player int, cur, target comm.Bits) error {
 		var applyErr error
 		cur.ForEachDiff(target, func(i int) bool {
@@ -430,6 +424,16 @@ func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order
 			case side[d.U]:
 				aH ^= h
 			default:
+				bH ^= h
+			}
+		}
+		// Vertex weights contribute to the induced-side hashes only; the
+		// cut hash is a pure edge fold.
+		for _, d := range g.VertexJournal() {
+			h := graph.VertexHash(d.V, d.W)
+			if side[d.V] {
+				aH ^= h
+			} else {
 				bH ^= h
 			}
 		}

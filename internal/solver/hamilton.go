@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math/bits"
 
 	"congesthard/internal/graph"
 )
@@ -27,6 +28,47 @@ func DirectedHamiltonianPath(d *graph.Digraph) ([]int, bool, error) {
 // DirectedHamiltonianPathFrom searches for a directed Hamiltonian path
 // starting at start and, if end >= 0, ending at end.
 func DirectedHamiltonianPathFrom(d *graph.Digraph, start, end int) ([]int, bool, error) {
+	var o HamiltonOracle
+	path, found, err := o.pathFrom(d, start, end)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	return append([]int(nil), path...), true, nil
+}
+
+// HamiltonOracle is a reusable directed-Hamiltonian-path evaluator: it
+// owns the backtracking search's scratch (visited bitset, BFS queue and
+// epoch marks, path stack), so a verification worker holding one across
+// many same-size digraphs pays no per-call allocation. For digraphs of at
+// most 64 vertices the decision variant additionally switches to a
+// single-word bitset search — adjacency rows, visited set, degree-death
+// tests and both reachability prunes are all word operations — which is
+// what makes the delta-driven hamlb verification several times faster
+// than its rebuild baseline. The package-level functions delegate to a
+// fresh oracle; the lower-bound-family delta workers keep one warm. The
+// zero value is ready to use. Not safe for concurrent use.
+type HamiltonOracle struct {
+	s hamSearch
+	b ham64
+}
+
+// HasDirectedHamiltonianPathFrom reports whether d has a directed
+// Hamiltonian path starting at start and, if end >= 0, ending at end,
+// reusing the oracle's scratch.
+func (o *HamiltonOracle) HasDirectedHamiltonianPathFrom(d *graph.Digraph, start, end int) (bool, error) {
+	if n := d.N(); n >= 2 && n <= 64 {
+		if start < 0 || start >= n || end >= n {
+			return false, fmt.Errorf("endpoints out of range: start=%d end=%d n=%d", start, end, n)
+		}
+		return o.b.run(d, start, end), nil
+	}
+	_, found, err := o.pathFrom(d, start, end)
+	return found, err
+}
+
+// pathFrom runs the search; the returned path aliases the oracle's arena
+// and is only valid until the next call.
+func (o *HamiltonOracle) pathFrom(d *graph.Digraph, start, end int) ([]int, bool, error) {
 	n := d.N()
 	if n > 4096 {
 		return nil, false, fmt.Errorf("hamiltonian search limited to 4096 vertices, got %d", n)
@@ -36,20 +78,15 @@ func DirectedHamiltonianPathFrom(d *graph.Digraph, start, end int) ([]int, bool,
 	}
 	if n == 1 {
 		if end == 0 || end < 0 {
-			return []int{0}, true, nil
+			o.s.path = append(o.s.path[:0], 0)
+			return o.s.path, true, nil
 		}
 		return nil, false, nil
 	}
-	s := &hamSearch{
-		d:       d,
-		n:       n,
-		end:     end,
-		visited: newBitset(n),
-		seen:    make([]int, n),
-		queue:   make([]int, 0, n),
-	}
-	s.path = make([]int, 0, n)
-	s.path = append(s.path, start)
+	s := &o.s
+	s.grow(n)
+	s.d, s.end = d, end
+	s.path = append(s.path[:0], start)
 	s.visited.set(start)
 	if s.search(start) {
 		return s.path, true, nil
@@ -64,9 +101,28 @@ type hamSearch struct {
 	visited bitset
 	path    []int
 	// seen/queue are reused BFS scratch; seen[v] == epoch marks v reached.
+	// epoch is monotonic across searches, so stale seen entries from a
+	// previous call never match.
 	seen  []int
 	queue []int
 	epoch int
+}
+
+// grow (re)sizes the arena for n-vertex digraphs and clears the visited
+// set left over from the previous search.
+func (s *hamSearch) grow(n int) {
+	if s.n != n {
+		s.n = n
+		s.visited = newBitset(n)
+		s.seen = make([]int, n)
+		s.queue = make([]int, 0, n)
+		s.path = make([]int, 0, n)
+		s.epoch = 0
+		return
+	}
+	for i := range s.visited {
+		s.visited[i] = 0
+	}
 }
 
 // reachableForward checks that every unvisited vertex is reachable from
@@ -210,6 +266,136 @@ func (s *hamSearch) search(head int) bool {
 	}
 	for _, h := range s.d.OutNeighbors(head) {
 		if tryNext(h.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// ham64 is the n <= 64 single-word specialization of hamSearch: adjacency
+// is an array of 64-bit rows (out[v] = the set of heads of v's out-arcs,
+// in[v] = the set of tails of its in-arcs), so the degree-based death
+// tests and both reachability prunes of the general search become a
+// handful of word operations per expanded node instead of adjacency scans
+// and queue-based BFS. Verdicts match hamSearch exactly (the prunes are
+// the same necessary conditions; only the branch order differs, which
+// cannot change existence).
+type ham64 struct {
+	n    int
+	end  int
+	full uint64 // mask of the n valid vertex bits
+	out  [64]uint64
+	in   [64]uint64
+
+	visited uint64
+}
+
+// run decides whether d (2 <= n <= 64 vertices) has a directed
+// Hamiltonian path from start to end (end < 0: any endpoint).
+func (b *ham64) run(d *graph.Digraph, start, end int) bool {
+	n := d.N()
+	b.n, b.end = n, end
+	for v := 0; v < n; v++ {
+		var outRow, inRow uint64
+		for _, h := range d.OutNeighbors(v) {
+			outRow |= uint64(1) << uint(h.To)
+		}
+		for _, h := range d.InNeighbors(v) {
+			inRow |= uint64(1) << uint(h.To)
+		}
+		b.out[v], b.in[v] = outRow, inRow
+	}
+	if n == 64 {
+		b.full = ^uint64(0)
+	} else {
+		b.full = uint64(1)<<uint(n) - 1
+	}
+	b.visited = uint64(1) << uint(start)
+	return b.search(start, 1)
+}
+
+// search extends a partial path of the given length ending at head.
+func (b *ham64) search(head, depth int) bool {
+	if depth == b.n {
+		return b.end < 0 || head == b.end
+	}
+	unvisited := b.full &^ b.visited
+	// Degree death tests + forced-successor detection (see
+	// hamSearch.feasible for the semantics being mirrored).
+	forced := -1
+	sinks := 0
+	for m := unvisited; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros64(m)
+		if b.in[v]&unvisited == 0 {
+			if b.in[v]>>uint(head)&1 == 0 {
+				return false
+			}
+			if forced >= 0 {
+				return false // two vertices demand the same successor slot
+			}
+			forced = v
+		}
+		if b.out[v]&unvisited == 0 {
+			if b.end >= 0 {
+				if v != b.end {
+					return false
+				}
+			} else {
+				sinks++
+				if sinks > 1 {
+					return false
+				}
+			}
+		}
+	}
+	// Forward reachability: every unvisited vertex must be reachable from
+	// head through unvisited vertices.
+	reached := b.out[head] & unvisited
+	for frontier := reached; frontier != 0; {
+		var next uint64
+		for m := frontier; m != 0; m &= m - 1 {
+			next |= b.out[bits.TrailingZeros64(m)]
+		}
+		next &= unvisited &^ reached
+		reached |= next
+		frontier = next
+	}
+	if reached != unvisited {
+		return false
+	}
+	// Backward reachability to a fixed end.
+	if b.end >= 0 {
+		reached = uint64(1) << uint(b.end)
+		for frontier := reached; frontier != 0; {
+			var next uint64
+			for m := frontier; m != 0; m &= m - 1 {
+				next |= b.in[bits.TrailingZeros64(m)]
+			}
+			next &= unvisited &^ reached
+			reached |= next
+			frontier = next
+		}
+		if reached != unvisited {
+			return false
+		}
+	}
+	try := func(next int) bool {
+		if b.end >= 0 && next == b.end && depth != b.n-1 {
+			return false // reaching end early wastes it
+		}
+		bit := uint64(1) << uint(next)
+		b.visited |= bit
+		if b.search(next, depth+1) {
+			return true
+		}
+		b.visited &^= bit
+		return false
+	}
+	if forced >= 0 {
+		return try(forced)
+	}
+	for m := b.out[head] & unvisited; m != 0; m &= m - 1 {
+		if try(bits.TrailingZeros64(m)) {
 			return true
 		}
 	}

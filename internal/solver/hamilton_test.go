@@ -208,3 +208,82 @@ func TestIsHamiltonianCycleValidation(t *testing.T) {
 		t.Error("repeat accepted")
 	}
 }
+
+// TestHamiltonOracleMatchesGeneralSearch cross-checks the oracle's n <= 64
+// bitset decision path against the general backtracking search on random
+// digraphs, for both fixed-end and free-end queries.
+func TestHamiltonOracleMatchesGeneralSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var o HamiltonOracle
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(6)
+		d := graph.RandomDigraph(n, 0.3+0.3*rng.Float64(), rng)
+		start := rng.Intn(n)
+		end := rng.Intn(n+1) - 1 // -1 means any endpoint
+		if end == start {
+			end = -1
+		}
+		_, want, err := DirectedHamiltonianPathFrom(d, start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.HasDirectedHamiltonianPathFrom(d, start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d start=%d end=%d): oracle %v, search %v",
+				trial, n, start, end, got, want)
+		}
+	}
+}
+
+// TestHamiltonOracleLargeFallback exercises the oracle's n > 64 general
+// path and reuse across differently sized digraphs.
+func TestHamiltonOracleLargeFallback(t *testing.T) {
+	var o HamiltonOracle
+	big := graph.NewDigraph(70)
+	for v := 0; v < 69; v++ {
+		big.MustAddArc(v, v+1)
+	}
+	found, err := o.HasDirectedHamiltonianPathFrom(big, 0, 69)
+	if err != nil || !found {
+		t.Fatalf("70-vertex directed path: found=%v err=%v", found, err)
+	}
+	found, err = o.HasDirectedHamiltonianPathFrom(big, 1, 69)
+	if err != nil || found {
+		t.Fatalf("path skipping vertex 0 reported: found=%v err=%v", found, err)
+	}
+	small := graph.NewDigraph(3)
+	small.MustAddArc(0, 1)
+	small.MustAddArc(1, 2)
+	found, err = o.HasDirectedHamiltonianPathFrom(small, 0, 2)
+	if err != nil || !found {
+		t.Fatalf("oracle reuse after resize: found=%v err=%v", found, err)
+	}
+	if _, err := o.HasDirectedHamiltonianPathFrom(small, 5, 2); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+}
+
+// TestHamiltonOracleSteadyStateDoesNotAllocate: repeated decisions on the
+// same digraph must reuse the arena.
+func TestHamiltonOracleSteadyStateDoesNotAllocate(t *testing.T) {
+	d := graph.NewDigraph(12)
+	for v := 0; v < 11; v++ {
+		d.MustAddArc(v, v+1)
+	}
+	d.MustAddArc(3, 1)
+	var o HamiltonOracle
+	if _, err := o.HasDirectedHamiltonianPathFrom(d, 0, 11); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := o.HasDirectedHamiltonianPathFrom(d, 0, 11); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state oracle decision allocates %.1f/run, want 0", allocs)
+	}
+}

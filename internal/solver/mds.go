@@ -156,6 +156,25 @@ func (o *MDSOracle) HasDominatingSetOfSize(g *graph.Graph, size int) (bool, erro
 	return found, nil
 }
 
+// HasDominatingSetOfWeight reports whether g has a dominating set of total
+// vertex weight at most cap, reusing the oracle's scratch. It is the
+// arena-backed equivalent of MinDominatingSetWithin's found bit.
+func (o *MDSOracle) HasDominatingSetOfWeight(g *graph.Graph, cap int64) (bool, error) {
+	n := g.N()
+	if n == 0 {
+		return true, nil
+	}
+	if n > 512 {
+		return false, fmt.Errorf("exact MDS limited to 512 vertices, got %d", n)
+	}
+	o.grow(n)
+	for i := range o.initBuf {
+		o.initBuf[i] = 0
+	}
+	_, _, found := o.search(g, o.initBuf, cap, false)
+	return found, nil
+}
+
 // grow (re)sizes the arena for n-vertex graphs.
 func (o *MDSOracle) grow(n int) {
 	if o.n == n {
