@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON array, so CI can archive the performance
+// trajectory of the tracked benchmarks as BENCH_<sha>.json artifacts.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -out BENCH_abc1234.json
+//	benchjson -in bench.out -out BENCH_abc1234.json
+//
+// Lines that are not benchmark results (headers, PASS, ok) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	entries, err := Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmark lines found in input")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// Parse extracts benchmark entries from `go test -bench` output: lines of
+// the form
+//
+//	BenchmarkName-8   5   123456 ns/op   789 B/op   12 allocs/op
+//
+// The GOMAXPROCS suffix stays part of the name (it affects the parallel
+// verification benchmarks' meaning).
+func Parse(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: fields[0], Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if e.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+				seen = true
+			case "B/op":
+				if e.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+			case "allocs/op":
+				if e.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+			}
+		}
+		if seen {
+			entries = append(entries, e)
+		}
+	}
+	return entries, scanner.Err()
+}

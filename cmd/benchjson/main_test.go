@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: congesthard
+cpu: some cpu
+BenchmarkCongestRunCore/64v-rounds=64-8         	       5	    291234 ns/op	     269 B/op	       9 allocs/op
+BenchmarkVerifyExhaustive/mdslb-k2-8            	       5	    755000 ns/op	   24680 B/op	     246 allocs/op
+BenchmarkNoMem-8 	      10	     123.5 ns/op
+PASS
+ok  	congesthard	12.3s
+`
+	entries, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	first := entries[0]
+	if first.Name != "BenchmarkCongestRunCore/64v-rounds=64-8" {
+		t.Errorf("name %q", first.Name)
+	}
+	if first.Iterations != 5 || first.NsPerOp != 291234 || first.BytesPerOp != 269 || first.AllocsPerOp != 9 {
+		t.Errorf("entry %+v", first)
+	}
+	if entries[1].AllocsPerOp != 246 {
+		t.Errorf("allocs %d, want 246", entries[1].AllocsPerOp)
+	}
+	noMem := entries[2]
+	if noMem.NsPerOp != 123.5 || noMem.AllocsPerOp != 0 {
+		t.Errorf("memless entry %+v", noMem)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	entries, err := Parse(strings.NewReader("Benchmark\nBenchmarkX notanumber ns/op\nhello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("parsed %d entries from garbage", len(entries))
+	}
+}

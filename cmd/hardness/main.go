@@ -8,6 +8,15 @@
 //	hardness -experiment E1           # one experiment
 //	hardness -list                    # list experiment ids (authoritative)
 //	hardness -seed 7 -experiment E7   # reseed the randomized experiments
+//
+// Certify mode runs the reduction engine: a CONGEST algorithm over the
+// input pairs of a lower-bound family with the Alice-Bob cut metered
+// (Theorem 1.1 made executable):
+//
+//	hardness -certify list                      # list family/algorithm pairings
+//	hardness -certify mds -alg collect          # exhaustive (K <= 6)
+//	hardness -certify mds -alg greedy -pairs 32 # sampled
+//	hardness -certify maxcut -alg sampled -pairs 16 -seed 7
 package main
 
 import (
@@ -27,12 +36,14 @@ import (
 	"congesthard/internal/constructions/kmdslb"
 	"congesthard/internal/constructions/maxcutlb"
 	"congesthard/internal/constructions/mdslb"
+	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
 	"congesthard/internal/pls"
+	"congesthard/internal/reduction"
 	"congesthard/internal/solver"
 )
 
@@ -44,12 +55,137 @@ var seed int64
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (E1..E18, see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
+	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', or 'list')")
+	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|greedy; mvc: matching; maxcut: sampled|exact)")
+	pairs := flag.Int("pairs", 0, "sampled (x,y) pairs for -certify; 0 = exhaustive over all 2^(2K) pairs (K <= 6)")
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
+	if *certify != "" {
+		if err := runCertify(*certify, *alg, *pairs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*experiment, *list); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// certifyPairings maps -certify/-alg to reduction pairings, at the same
+// k = 2 parameterization the exhaustive experiments use.
+func certifyPairings() (map[string]map[string]func() (lbfamily.Family, reduction.Algorithm, error), []string) {
+	pairings := map[string]map[string]func() (lbfamily.Family, reduction.Algorithm, error){
+		"mds": {
+			"collect": func() (lbfamily.Family, reduction.Algorithm, error) {
+				fam, err := mdslb.New(2)
+				if err != nil {
+					return nil, reduction.Algorithm{}, err
+				}
+				return fam, reduction.CollectMDS(fam), nil
+			},
+			"greedy": func() (lbfamily.Family, reduction.Algorithm, error) {
+				fam, err := mdslb.New(2)
+				if err != nil {
+					return nil, reduction.Algorithm{}, err
+				}
+				return fam, reduction.GreedyMDS(fam), nil
+			},
+		},
+		"mvc": {
+			"matching": func() (lbfamily.Family, reduction.Algorithm, error) {
+				fam, err := mvclb.New(2)
+				if err != nil {
+					return nil, reduction.Algorithm{}, err
+				}
+				return fam, reduction.MatchingMVC(fam), nil
+			},
+		},
+		"maxcut": {
+			"sampled": func() (lbfamily.Family, reduction.Algorithm, error) {
+				fam, err := maxcutlb.New(2)
+				if err != nil {
+					return nil, reduction.Algorithm{}, err
+				}
+				a, err := reduction.SampledMaxCut(fam, 0.5)
+				return fam, a, err
+			},
+			"exact": func() (lbfamily.Family, reduction.Algorithm, error) {
+				fam, err := maxcutlb.New(2)
+				if err != nil {
+					return nil, reduction.Algorithm{}, err
+				}
+				a, err := reduction.SampledMaxCut(fam, 1)
+				return fam, a, err
+			},
+		},
+	}
+	var index []string
+	for famName, algs := range pairings {
+		for algName := range algs {
+			index = append(index, famName+"/"+algName)
+		}
+	}
+	sort.Strings(index)
+	return pairings, index
+}
+
+func runCertify(famName, algName string, pairs int) error {
+	pairings, index := certifyPairings()
+	if famName == "list" {
+		for _, p := range index {
+			fmt.Println(p)
+		}
+		return nil
+	}
+	algs, ok := pairings[famName]
+	if !ok {
+		return fmt.Errorf("unknown certify family %q (try -certify list)", famName)
+	}
+	build, ok := algs[algName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q for family %q (try -certify list)", algName, famName)
+	}
+	fam, alg, err := build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seed=%d\n", seed)
+	rep, err := reduction.Certify(fam, alg, reduction.Config{
+		Pairs:            pairs,
+		Seed:             seed,
+		TranscriptChecks: 1,
+	})
+	if err != nil {
+		return err
+	}
+	printCertifyReport(rep)
+	return nil
+}
+
+func printCertifyReport(rep *reduction.Report) {
+	mode := "exhaustive"
+	if !rep.Exhaustive {
+		mode = "sampled"
+	}
+	fmt.Printf("certify family=%s alg=%s exact=%v pairs=%d (%s)\n",
+		rep.Family, rep.Algorithm, rep.Exact, len(rep.Pairs), mode)
+	fmt.Printf("  n=%d |E_cut|=%d K=%d B=%d\n",
+		rep.Stats.N, rep.Stats.CutSize, rep.Stats.K, rep.Bandwidth)
+	if len(rep.Pairs) <= 16 {
+		for _, p := range rep.Pairs {
+			fmt.Printf("  (x=%s, y=%s) rounds=%-5d cut-bits=%-7d output=%-5v want=%-5v correct=%v\n",
+				p.X, p.Y, p.Rounds, p.CutBits, p.Output, p.Want, p.Correct)
+		}
+	}
+	fmt.Printf("  correct %d/%d, mismatches %d", len(rep.Pairs)-rep.Mismatches, len(rep.Pairs), rep.Mismatches)
+	if rep.Mismatches > 0 && !rep.Exact {
+		fmt.Printf(" (approximate baseline: flagged as not deciding P)")
+	}
+	fmt.Println()
+	fmt.Printf("  rounds max=%d, cut-bits max=%d; Theorem 1.1 budget 2*T*B*|E_cut| = %d >= CC(f) = %.0f: %v\n",
+		rep.MaxRounds, rep.MaxCutBits, rep.SimBits, rep.CCBound, float64(rep.SimBits) >= rep.CCBound)
 }
 
 type experimentFunc func() error

@@ -4,7 +4,9 @@
 //   - leader election and BFS-tree construction (O(D) rounds);
 //   - CollectAndSolve: the generic "learn the whole graph and solve
 //     locally" exact algorithm, O(m + D) rounds — the O(n²) upper bound
-//     that the Section 2 Ω̃(n²) lower bounds nearly match;
+//     that the Section 2 Ω̃(n²) lower bounds nearly match — plus
+//     CollectFactory, the same algorithm as a real gossip program whose
+//     every message the simulator meters (the reduction engine's workhorse);
 //   - the Theorem 2.9 (1-ε)-approximate max-cut algorithm: sample each
 //     edge with probability p, collect the sample at a leader, solve
 //     max-cut exactly on the sample and scale by 1/p — Õ(n) rounds;

@@ -1,0 +1,302 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/bits"
+
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+)
+
+// This file implements the collect upper bound as a real simulator
+// program, so its communication is metered message by message (unlike
+// CollectAndSolve, which only computes the round count analytically).
+//
+// Protocol: every vertex gossips edge records to all neighbors, one
+// fixed-length frame chunk per edge per round. A record is the canonical
+// weighted edge {u, v, w}; its frame is 1 + weightChunks messages: first
+// the id chunk u*n + v (which always fits the CONGEST bandwidth
+// B >= 2*ceil(log2(n+1)) because u*n + v < n^2 <= 2^B), then the weight in
+// B-bit little-endian chunks (zero chunks when every kept weight is
+// exactly 1). Each vertex relays every record it learns to every neighbor
+// exactly once; receivers deduplicate. After the round budget expires the
+// evaluating vertices reconstruct the collected graph and solve locally.
+//
+// Who evaluates depends on the collection mode. With full collection
+// (Keep == nil) every vertex learns its entire connected component, so
+// the minimum-id vertex of each component detects that it is the root and
+// evaluates Eval on its component — disconnected instances (e.g. the MDS
+// family's all-zeros graph) are handled by summing the per-component
+// values, which is exact for component-additive quantities like the
+// domination number. With a Keep filter the collected records no longer
+// witness connectivity, so the graph must be connected and vertex 0 is
+// the sole root, evaluating Eval on the full filtered collection.
+//
+// The budget frame*(T + n + 2) + 4, with T the number of kept records,
+// dominates the classic pipelined-flooding bound frame*(T + D): a record
+// waits behind at most T-1 earlier frames per hop and travels at most
+// D <= n - 1 hops. Nodes terminate at the budget rather than detecting
+// quiescence — the budget is computed by the harness from (n, m), the
+// same simulation shortcut CollectAndSolve documents.
+
+// CollectSpec configures one run of the gossip collect program.
+type CollectSpec struct {
+	// Keep filters which edges are collected (nil keeps every edge). The
+	// filter must be symmetric in its endpoints and deterministic — both
+	// endpoints evaluate it independently (shared randomness). A non-nil
+	// Keep requires a connected graph (see above).
+	Keep func(u, v int, w int64) bool
+	// Eval runs at each root on its collected graph: the root's connected
+	// component (reindexed, full collection) or the whole filtered
+	// collection (Keep != nil). The per-root values are combined by
+	// CollectTotal.
+	Eval func(collected *graph.Graph) (int64, error)
+}
+
+// collectOutput is a root's Output value (zero value at non-roots).
+type collectOutput struct {
+	root  bool
+	value int64
+	err   error
+}
+
+// CollectFactory builds the gossip program for g and returns the node
+// factory together with the round budget baked into it. bandwidth must be
+// the BandwidthBits the simulation will run with (0 selects the default),
+// because the frame layout depends on it.
+func CollectFactory(g *graph.Graph, bandwidth int, spec CollectSpec) (congest.Factory, int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("collect requires a non-empty graph")
+	}
+	if spec.Keep != nil && !g.IsConnected() {
+		return nil, 0, fmt.Errorf("filtered collect requires a connected graph")
+	}
+	if bandwidth == 0 {
+		bandwidth = congest.DefaultBandwidth(n)
+	}
+	maxPayload := int64(1)<<uint(bandwidth) - 1
+	if int64(n)*int64(n)-1 > maxPayload {
+		return nil, 0, fmt.Errorf("bandwidth %d cannot carry edge ids of an n=%d graph", bandwidth, n)
+	}
+	// Frame layout from the kept edge set: T records, and weight chunks
+	// only when some kept weight differs from 1.
+	records := 0
+	var maxW int64
+	weighted := false
+	for _, e := range g.Edges() {
+		if spec.Keep != nil && !spec.Keep(e.U, e.V, e.Weight) {
+			continue
+		}
+		if e.Weight < 0 {
+			return nil, 0, fmt.Errorf("collect cannot encode negative weight %d on edge {%d,%d}", e.Weight, e.U, e.V)
+		}
+		records++
+		if e.Weight != 1 {
+			weighted = true
+		}
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	wchunks := 0
+	if weighted {
+		wchunks = (bits.Len64(uint64(maxW)) + bandwidth - 1) / bandwidth
+		if wchunks == 0 {
+			wchunks = 1
+		}
+	}
+	frame := 1 + wchunks
+	budget := frame*(records+n+2) + 4
+	factory := func(local congest.Local) congest.Node {
+		return newCollectNode(local, n, bandwidth, budget, wchunks, spec)
+	}
+	return factory, budget, nil
+}
+
+// CollectTotal sums the root values of a finished run: the single root's
+// value under filtered collection, the per-component values under full
+// collection (exact for component-additive quantities).
+func CollectTotal(res *congest.Result) (int64, error) {
+	var total int64
+	roots := 0
+	for v, out := range res.Outputs {
+		c, ok := out.(collectOutput)
+		if !ok {
+			return 0, fmt.Errorf("vertex %d did not run the collect program", v)
+		}
+		if !c.root {
+			continue
+		}
+		if c.err != nil {
+			return 0, fmt.Errorf("root %d: %w", v, c.err)
+		}
+		roots++
+		total += c.value
+	}
+	if roots == 0 {
+		return 0, fmt.Errorf("no root produced a value")
+	}
+	return total, nil
+}
+
+type collectRecord struct {
+	u, v int
+	w    int64
+}
+
+type collectNode struct {
+	local   congest.Local
+	n       int
+	bw      int
+	budget  int
+	wchunks int
+	spec    CollectSpec
+
+	nbrIdx  map[int]int
+	records []collectRecord
+	known   map[int64]bool
+
+	// Per-neighbor send cursor: which record, and which chunk of its frame.
+	sendRec   []int
+	sendChunk []int
+	// Per-neighbor receive reassembly: pending edge id and accumulated
+	// weight chunks (rcvChunk = 0 means no frame in flight).
+	rcvKey   []int64
+	rcvW     []int64
+	rcvChunk []int
+
+	outbox []congest.Message
+	out    collectOutput
+}
+
+func newCollectNode(local congest.Local, n, bw, budget, wchunks int, spec CollectSpec) *collectNode {
+	c := &collectNode{
+		local:     local,
+		n:         n,
+		bw:        bw,
+		budget:    budget,
+		wchunks:   wchunks,
+		spec:      spec,
+		nbrIdx:    make(map[int]int, len(local.Neighbors)),
+		known:     make(map[int64]bool),
+		sendRec:   make([]int, len(local.Neighbors)),
+		sendChunk: make([]int, len(local.Neighbors)),
+		rcvKey:    make([]int64, len(local.Neighbors)),
+		rcvW:      make([]int64, len(local.Neighbors)),
+		rcvChunk:  make([]int, len(local.Neighbors)),
+		outbox:    make([]congest.Message, 0, len(local.Neighbors)),
+	}
+	for i, nbr := range local.Neighbors {
+		c.nbrIdx[nbr] = i
+		u, v, w := local.ID, nbr, local.EdgeWeights[i]
+		if u > v {
+			u, v = v, u
+		}
+		if spec.Keep == nil || spec.Keep(u, v, w) {
+			c.learn(u, v, w)
+		}
+	}
+	return c
+}
+
+func (c *collectNode) key(u, v int) int64 { return int64(u)*int64(c.n) + int64(v) }
+
+func (c *collectNode) learn(u, v int, w int64) {
+	k := c.key(u, v)
+	if !c.known[k] {
+		c.known[k] = true
+		c.records = append(c.records, collectRecord{u: u, v: v, w: w})
+	}
+}
+
+// Round ingests the per-neighbor frame streams and emits the next chunk of
+// each neighbor's stream; at the budget the roots reconstruct and evaluate.
+func (c *collectNode) Round(round int, inbox []congest.Incoming) ([]congest.Message, bool) {
+	for _, msg := range inbox {
+		i, ok := c.nbrIdx[msg.From]
+		if !ok {
+			continue
+		}
+		if c.rcvChunk[i] == 0 {
+			u := int(msg.Payload) / c.n
+			v := int(msg.Payload) % c.n
+			if c.wchunks == 0 {
+				c.learn(u, v, 1)
+			} else {
+				c.rcvKey[i] = msg.Payload
+				c.rcvW[i] = 0
+				c.rcvChunk[i] = 1
+			}
+			continue
+		}
+		c.rcvW[i] |= msg.Payload << uint(c.bw*(c.rcvChunk[i]-1))
+		c.rcvChunk[i]++
+		if c.rcvChunk[i] > c.wchunks {
+			c.learn(int(c.rcvKey[i])/c.n, int(c.rcvKey[i])%c.n, c.rcvW[i])
+			c.rcvChunk[i] = 0
+		}
+	}
+	if round >= c.budget {
+		c.finish()
+		return nil, true
+	}
+	mask := int64(1)<<uint(c.bw) - 1
+	c.outbox = c.outbox[:0]
+	for i, nbr := range c.local.Neighbors {
+		if c.sendRec[i] >= len(c.records) {
+			continue
+		}
+		rec := c.records[c.sendRec[i]]
+		var payload int64
+		if c.sendChunk[i] == 0 {
+			payload = c.key(rec.u, rec.v)
+		} else {
+			payload = rec.w >> uint(c.bw*(c.sendChunk[i]-1)) & mask
+		}
+		c.outbox = append(c.outbox, congest.Message{To: nbr, Payload: payload})
+		c.sendChunk[i]++
+		if c.sendChunk[i] > c.wchunks {
+			c.sendChunk[i] = 0
+			c.sendRec[i]++
+		}
+	}
+	return c.outbox, false
+}
+
+// finish decides root status and evaluates. Under filtered collection
+// vertex 0 is the sole root and evaluates the whole collection; under full
+// collection the vertex checks whether it is the minimum id of its
+// component (fully known from the collected records) and evaluates the
+// induced component subgraph.
+func (c *collectNode) finish() {
+	collected := graph.New(c.n)
+	for _, rec := range c.records {
+		if err := collected.AddWeightedEdge(rec.u, rec.v, rec.w); err != nil {
+			if c.local.ID == 0 {
+				c.out = collectOutput{root: true, err: fmt.Errorf("reconstructing collected graph: %w", err)}
+			}
+			return
+		}
+	}
+	if c.spec.Keep != nil {
+		if c.local.ID == 0 {
+			c.out.root = true
+			c.out.value, c.out.err = c.spec.Eval(collected)
+		}
+		return
+	}
+	comp, _ := collected.Components()
+	mine := comp[c.local.ID]
+	for v := 0; v < c.local.ID; v++ {
+		if comp[v] == mine {
+			return // a smaller id shares the component: not the root
+		}
+	}
+	component, _ := collected.InducedSubgraph(func(v int) bool { return comp[v] == mine })
+	c.out.root = true
+	c.out.value, c.out.err = c.spec.Eval(component)
+}
+
+// Output returns the root's collectOutput (zero value elsewhere).
+func (c *collectNode) Output() interface{} { return c.out }

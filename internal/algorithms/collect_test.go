@@ -1,0 +1,151 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+)
+
+// runCollect runs the gossip collect program on g and returns the summed
+// root values plus the run result.
+func runCollect(t *testing.T, g *graph.Graph, spec CollectSpec) (int64, *congest.Result) {
+	t.Helper()
+	factory, budget, err := CollectFactory(g, 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := congest.Run(g, factory, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != budget+1 {
+		t.Errorf("rounds = %d, want budget+1 = %d", res.Rounds, budget+1)
+	}
+	total, err := CollectTotal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total, res
+}
+
+func TestCollectReconstructsGraphExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*graph.Graph{graph.Path(9), graph.Star(8), graph.Complete(7)}
+	for n := 6; n <= 14; n += 4 {
+		g := graph.Gnp(n, 0.4, rng)
+		for !g.IsConnected() {
+			g = graph.Gnp(n, 0.4, rng)
+		}
+		cases = append(cases, g)
+		w := graph.GnpWeighted(n, 0.5, 1000, rng)
+		for !w.IsConnected() {
+			w = graph.GnpWeighted(n, 0.5, 1000, rng)
+		}
+		cases = append(cases, w)
+	}
+	for i, g := range cases {
+		want := g.Signature()
+		total, _ := runCollect(t, g, CollectSpec{
+			Eval: func(collected *graph.Graph) (int64, error) {
+				// A connected graph has one root whose component is the
+				// whole graph, reindexed by the identity.
+				if collected.Signature() == want {
+					return 1, nil
+				}
+				return 0, nil
+			},
+		})
+		if total != 1 {
+			t.Errorf("case %d (%v): root reconstruction differs from the input graph", i, g)
+		}
+	}
+}
+
+func TestCollectDisconnectedComponents(t *testing.T) {
+	// Two components: a triangle {0,1,2} and an edge {3,4}, plus the
+	// isolated vertex 5. Each component's minimum-id vertex evaluates its
+	// own component; the values (here, vertex counts) sum to n.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(3, 4)
+	total, res := runCollect(t, g, CollectSpec{
+		Eval: func(component *graph.Graph) (int64, error) {
+			return int64(component.N()), nil
+		},
+	})
+	if total != 6 {
+		t.Errorf("component sizes sum to %d, want 6", total)
+	}
+	roots := 0
+	for v, out := range res.Outputs {
+		if c, ok := out.(collectOutput); ok && c.root {
+			roots++
+			if v != 0 && v != 3 && v != 5 {
+				t.Errorf("vertex %d claims root status", v)
+			}
+		}
+	}
+	if roots != 3 {
+		t.Errorf("%d roots, want 3 (one per component)", roots)
+	}
+}
+
+func TestCollectKeepFilter(t *testing.T) {
+	// Keep only even-weight edges of a weighted graph: the sole root must
+	// see exactly the filtered edge set, while messages still travel over
+	// all edges of the communication graph.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.GnpWeighted(10, 0.6, 50, rng)
+	for !g.IsConnected() {
+		g = graph.GnpWeighted(10, 0.6, 50, rng)
+	}
+	keep := func(u, v int, w int64) bool { return w%2 == 0 }
+	wantKept := 0
+	for _, e := range g.Edges() {
+		if keep(e.U, e.V, e.Weight) {
+			wantKept++
+		}
+	}
+	total, _ := runCollect(t, g, CollectSpec{
+		Keep: keep,
+		Eval: func(collected *graph.Graph) (int64, error) {
+			if collected.M() != wantKept {
+				return 0, nil
+			}
+			for _, e := range collected.Edges() {
+				w, exists := g.EdgeWeight(e.U, e.V)
+				if !exists || w != e.Weight || !keep(e.U, e.V, e.Weight) {
+					return 0, nil
+				}
+			}
+			return 1, nil
+		},
+	})
+	if total != 1 {
+		t.Error("filtered collection does not match the kept edge set")
+	}
+}
+
+func TestCollectRejectsBadInputs(t *testing.T) {
+	keepAll := func(int, int, int64) bool { return true }
+	if _, _, err := CollectFactory(graph.New(0), 0, CollectSpec{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	disconnected := graph.New(4)
+	disconnected.MustAddEdge(0, 1)
+	if _, _, err := CollectFactory(disconnected, 0, CollectSpec{Keep: keepAll}); err == nil {
+		t.Error("disconnected graph accepted for filtered collection")
+	}
+	if _, _, err := CollectFactory(graph.Path(20), 3, CollectSpec{}); err == nil {
+		t.Error("bandwidth too small for edge ids accepted")
+	}
+	neg := graph.New(2)
+	neg.MustAddWeightedEdge(0, 1, -5)
+	if _, _, err := CollectFactory(neg, 0, CollectSpec{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}

@@ -102,11 +102,14 @@ func LubyMIS(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result,
 	return mis, res, nil
 }
 
-// MaximalMatching2ApproxVC computes a maximal matching by randomized
-// proposals on the congest simulator and returns the matched vertices —
-// the classical 2-approximate vertex cover.
-func MaximalMatching2ApproxVC(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result, error) {
-	factory := func(local congest.Local) congest.Node {
+// MaximalMatchingVCFactory returns the node program of the randomized
+// proposal maximal matching: each vertex's Output is its matched partner
+// (-1 if unmatched), and the matched vertices form the classical
+// 2-approximate vertex cover. The program is deterministic given (seed,
+// vertex id), so metered runs (reduction.Certify, transcript replay) can
+// re-execute it exactly.
+func MaximalMatchingVCFactory(seed int64, maxPhases int) congest.Factory {
+	return func(local congest.Local) congest.Node {
 		rng := rand.New(rand.NewSource(seed + int64(local.ID)*40503))
 		matched := false
 		partner := -1
@@ -131,21 +134,28 @@ func MaximalMatching2ApproxVC(g *graph.Graph, seed int64, maxPhases int) ([]int,
 						}
 					}
 					if matched || len(available) == 0 || round/2 >= maxPhases {
-						// Tell available neighbors we are gone.
+						// Tell available neighbors we are gone. Iterate the
+						// sorted neighbor list, not the map: the program
+						// must be deterministic per (seed, id) so the
+						// reduction engine's transcript replays reproduce
+						// it exactly.
 						var out []congest.Message
 						if matched {
-							for nbr := range available {
-								if nbr != partner {
+							for _, nbr := range local.Neighbors {
+								if available[nbr] && nbr != partner {
 									out = append(out, congest.Message{To: nbr, Payload: 3})
 								}
 							}
 						}
 						return out, true
 					}
-					// Propose to a random available neighbor.
+					// Propose to a random available neighbor (deterministic
+					// target order for the same reason).
 					targets := make([]int, 0, len(available))
-					for nbr := range available {
-						targets = append(targets, nbr)
+					for _, nbr := range local.Neighbors {
+						if available[nbr] {
+							targets = append(targets, nbr)
+						}
 					}
 					proposedTo = targets[rng.Intn(len(targets))]
 					return []congest.Message{{To: proposedTo, Payload: 1}}, false
@@ -167,17 +177,29 @@ func MaximalMatching2ApproxVC(g *graph.Graph, seed int64, maxPhases int) ([]int,
 			OutputFunc: func() interface{} { return partner },
 		}
 	}
-	res, err := congest.Run(g, factory, congest.Options{MaxRounds: 2*maxPhases + 6})
-	if err != nil {
-		return nil, nil, err
-	}
+}
+
+// MatchedVertices extracts the matched-vertex cover from a finished
+// MaximalMatchingVCFactory run.
+func MatchedVertices(res *congest.Result) []int {
 	var cover []int
-	for v := 0; v < g.N(); v++ {
-		if p, ok := res.Outputs[v].(int); ok && p >= 0 {
+	for v, out := range res.Outputs {
+		if p, ok := out.(int); ok && p >= 0 {
 			cover = append(cover, v)
 		}
 	}
-	return cover, res, nil
+	return cover
+}
+
+// MaximalMatching2ApproxVC computes a maximal matching by randomized
+// proposals on the congest simulator and returns the matched vertices —
+// the classical 2-approximate vertex cover.
+func MaximalMatching2ApproxVC(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result, error) {
+	res, err := congest.Run(g, MaximalMatchingVCFactory(seed, maxPhases), congest.Options{MaxRounds: 2*maxPhases + 6})
+	if err != nil {
+		return nil, nil, err
+	}
+	return MatchedVertices(res), res, nil
 }
 
 // GreedyMDS runs a sequential-greedy dominating set centrally (pick the

@@ -52,6 +52,26 @@ func KnownComplexity(f Function) (Complexity, bool) {
 	return Complexity{}, false
 }
 
+// KnownDeterministicCC returns the deterministic communication complexity
+// of f at input length k from the known table, unwrapping negations
+// (CC(f) = CC(¬f)); ok = false if the underlying function is not tabled.
+// It is the shared lookup behind Theorem 1.1 bound evaluation
+// (lbfamily.ImpliedLowerBound) and reduction certification.
+func KnownDeterministicCC(f Function, k int) (float64, bool) {
+	for {
+		neg, ok := f.(Negation)
+		if !ok {
+			break
+		}
+		f = neg.F
+	}
+	c, ok := KnownComplexity(f)
+	if !ok {
+		return 0, false
+	}
+	return c.Deterministic(k), true
+}
+
 // Gamma computes Γ(f) = CC(f) / max{CC^N(f), CC^N(¬f)} at input length k
 // (Section 5.2). For DISJ and EQ this is O(1): the deterministic complexity
 // is already matched by one of the nondeterministic directions.

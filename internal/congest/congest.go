@@ -76,6 +76,11 @@ type Options struct {
 	// CutSide, if non-nil, marks Alice's side of a bipartition; messages
 	// crossing the cut are metered (Theorem 1.1 accounting).
 	CutSide []bool
+	// Meter, if non-nil, observes every accepted message with its cut
+	// classification (see Meter). It requires CutSide; Run rejects a nil
+	// or wrongly-sized bipartition with a descriptive error instead of
+	// silently skipping the classification.
+	Meter Meter
 }
 
 // Metrics are the measured costs of a simulation.
@@ -160,6 +165,12 @@ func (ei *edgeIndex) slot(from, to int) int32 {
 // Run simulates the factory's programs on g until every node terminates.
 func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	n := g.N()
+	if opts.Meter != nil && opts.CutSide == nil {
+		return nil, fmt.Errorf("metering enabled (Options.Meter) but no cut bipartition: CutSide is nil, want %d entries marking Alice's side", n)
+	}
+	if opts.CutSide != nil && len(opts.CutSide) != n {
+		return nil, fmt.Errorf("cut bipartition has %d entries for %d vertices: CutSide must mark every vertex", len(opts.CutSide), n)
+	}
 	if n == 0 {
 		return &Result{}, nil
 	}
@@ -173,9 +184,6 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 4*n*n + 64
-	}
-	if opts.CutSide != nil && len(opts.CutSide) != n {
-		return nil, fmt.Errorf("cut side length %d != n %d", len(opts.CutSide), n)
 	}
 
 	csr := g.Freeze()
@@ -210,14 +218,23 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 			recvAt[base+i] = int32(csr.Slot(int(to), v))
 		}
 	}
-	var cutCross []bool
+	// slotDir classifies each directed edge relative to the bipartition:
+	// internal, Alice→Bob or Bob→Alice. Built only when a cut is supplied,
+	// so unmetered runs pay nothing.
+	var slotDir []Direction
 	if opts.CutSide != nil {
-		cutCross = make([]bool, slots)
+		slotDir = make([]Direction, slots)
 		for v := 0; v < n; v++ {
 			nbrs, _ := csr.Window(v)
 			base := csr.Offset(v)
 			for i, to := range nbrs {
-				cutCross[base+i] = opts.CutSide[v] != opts.CutSide[to]
+				if opts.CutSide[v] != opts.CutSide[to] {
+					if opts.CutSide[v] {
+						slotDir[base+i] = DirAliceToBob
+					} else {
+						slotDir[base+i] = DirBobToAlice
+					}
+				}
 			}
 		}
 	}
@@ -283,9 +300,15 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 				nextPayload[recvAt[s]] = msg.Payload
 				nextStamp[recvAt[s]] = int32(round + 1)
 				metrics.Messages++
-				if cutCross != nil && cutCross[s] {
-					metrics.CutMessages++
-					metrics.CutBits += int64(bandwidth)
+				if slotDir != nil {
+					dir := slotDir[s]
+					if dir != DirInternal {
+						metrics.CutMessages++
+						metrics.CutBits += int64(bandwidth)
+					}
+					if opts.Meter != nil {
+						opts.Meter.Observe(round, v, msg.To, msg.Payload, bandwidth, dir)
+					}
 				}
 			}
 		}

@@ -317,6 +317,134 @@ func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
 	if long > short {
 		t.Errorf("per-round allocations detected: %v allocs for 10 rounds, %v for 1010", short, long)
 	}
+
+	// With the cut meter enabled the steady state must stay O(1)
+	// allocs/round too: the hook passes scalars to a preallocated
+	// counting meter, so the extra rounds still allocate nothing.
+	side := make([]bool, g.N())
+	for v := range side {
+		side[v] = v%2 == 0
+	}
+	counts := &CutCounts{}
+	meteredWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(g, newChatter(rounds), Options{CutSide: side, Meter: counts}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shortM := testing.AllocsPerRun(5, meteredWith(10))
+	longM := testing.AllocsPerRun(5, meteredWith(1010))
+	if longM > shortM {
+		t.Errorf("metered per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortM, longM)
+	}
+}
+
+func TestMeterRequiresBipartition(t *testing.T) {
+	// Regression: a Meter without a bipartition (or with an undersized
+	// one) must be rejected with a descriptive error, not silently run
+	// unclassified.
+	g := graph.Path(4)
+	quiet := func(local Local) Node {
+		return &FuncNode{RoundFunc: func(int, []Incoming) ([]Message, bool) { return nil, true }}
+	}
+	if _, err := Run(g, quiet, Options{Meter: &CutCounts{}}); err == nil {
+		t.Error("Meter with nil CutSide accepted")
+	}
+	if _, err := Run(g, quiet, Options{Meter: &CutCounts{}, CutSide: []bool{true, false}}); err == nil {
+		t.Error("Meter with undersized CutSide accepted")
+	}
+	if _, err := Run(g, quiet, Options{CutSide: make([]bool, 7)}); err == nil {
+		t.Error("oversized CutSide accepted")
+	}
+	if _, err := Run(g, quiet, Options{Meter: &CutCounts{}, CutSide: make([]bool, 4)}); err != nil {
+		t.Errorf("well-formed metered run rejected: %v", err)
+	}
+}
+
+// dirRecord captures every observation for classification tests.
+type dirRecord struct {
+	round, from, to int
+	payload         int64
+	dir             Direction
+}
+
+type recordingMeter struct{ seen []dirRecord }
+
+func (r *recordingMeter) Observe(round, from, to int, payload int64, bits int, dir Direction) {
+	r.seen = append(r.seen, dirRecord{round, from, to, payload, dir})
+}
+
+func TestMeterClassifiesDirections(t *testing.T) {
+	// Path 0-1-2-3 with Alice = {0,1}: messages 1->2 are A->B, 2->1 are
+	// B->A, and 0<->1 / 2<->3 are internal. One flooding round from every
+	// vertex exercises all three classes.
+	g := graph.Path(4)
+	side := []bool{true, true, false, false}
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				if round > 0 {
+					return nil, true
+				}
+				out := make([]Message, 0, len(local.Neighbors))
+				for _, nbr := range local.Neighbors {
+					out = append(out, Message{To: nbr, Payload: int64(local.ID)})
+				}
+				return out, false
+			},
+		}
+	}
+	rec := &recordingMeter{}
+	res, err := Run(g, factory, Options{CutSide: side, Meter: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]Direction{
+		{0, 1}: DirInternal, {1, 0}: DirInternal,
+		{1, 2}: DirAliceToBob, {2, 1}: DirBobToAlice,
+		{2, 3}: DirInternal, {3, 2}: DirInternal,
+	}
+	if len(rec.seen) != len(want) {
+		t.Fatalf("observed %d messages, want %d", len(rec.seen), len(want))
+	}
+	var crossing int64
+	for _, obs := range rec.seen {
+		if d, ok := want[[2]int{obs.from, obs.to}]; !ok || d != obs.dir {
+			t.Errorf("message %d->%d classified %v, want %v", obs.from, obs.to, obs.dir, d)
+		}
+		if obs.payload != int64(obs.from) {
+			t.Errorf("message %d->%d observed payload %d", obs.from, obs.to, obs.payload)
+		}
+		if obs.dir != DirInternal {
+			crossing++
+		}
+	}
+	if crossing != res.CutMessages {
+		t.Errorf("meter saw %d crossing messages, metrics say %d", crossing, res.CutMessages)
+	}
+}
+
+func TestMeterCountsMatchMetrics(t *testing.T) {
+	g := graph.Complete(6)
+	side := []bool{true, true, true, false, false, false}
+	counts := &CutCounts{}
+	res, err := Run(g, newFloodMin(4), Options{CutSide: side, Meter: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.CutMessages() != res.CutMessages {
+		t.Errorf("meter cut messages %d != metrics %d", counts.CutMessages(), res.CutMessages)
+	}
+	if counts.CutBits() != res.CutBits {
+		t.Errorf("meter cut bits %d != metrics %d", counts.CutBits(), res.CutBits)
+	}
+	if counts.Internal+counts.CutMessages() != res.Messages {
+		t.Errorf("meter total %d != metrics messages %d", counts.Internal+counts.CutMessages(), res.Messages)
+	}
+	if counts.MessagesAB == 0 || counts.MessagesBA == 0 {
+		t.Error("flooding on a complete graph must cross the cut both ways")
+	}
 }
 
 func TestLocalInfo(t *testing.T) {

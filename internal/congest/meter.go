@@ -1,0 +1,79 @@
+package congest
+
+// Direction classifies one message relative to the Alice/Bob vertex
+// bipartition supplied in Options.CutSide: a message either stays inside
+// one side or crosses the cut in one of the two directions. The crossing
+// messages are exactly the two-party transcript of the Theorem 1.1
+// simulation — Alice simulates V_A, Bob simulates V_B, and every bit they
+// must exchange is a bit some cut edge carried.
+type Direction int8
+
+// The three message classes.
+const (
+	// DirInternal marks a message between two vertices of the same side.
+	DirInternal Direction = iota
+	// DirAliceToBob marks a message from V_A into V_B.
+	DirAliceToBob
+	// DirBobToAlice marks a message from V_B into V_A.
+	DirBobToAlice
+)
+
+// String names the direction for reports and error messages.
+func (d Direction) String() string {
+	switch d {
+	case DirAliceToBob:
+		return "A->B"
+	case DirBobToAlice:
+		return "B->A"
+	default:
+		return "internal"
+	}
+}
+
+// Meter is the opt-in per-message observation hook of the simulator: when
+// Options.Meter is non-nil, Observe is called once for every message the
+// simulator accepts (after validation, in the deterministic send order:
+// ascending sender id within a round, outbox order within a sender), with
+// the message's cut classification. A Meter requires a cut bipartition
+// (Options.CutSide), because the classification is relative to it.
+//
+// Observe must not retain the simulator's buffers (it receives only
+// scalars) and should not allocate if the caller needs the simulator's
+// steady-state allocation guarantees to extend to metered runs — the
+// counting meters used by the reduction package are allocation-free.
+type Meter interface {
+	Observe(round, from, to int, payload int64, bits int, dir Direction)
+}
+
+// CutCounts is the minimal allocation-free Meter: it tallies messages and
+// bits per direction. The totals over the two crossing directions always
+// match the run's Metrics.CutMessages / Metrics.CutBits.
+type CutCounts struct {
+	Internal   int64
+	MessagesAB int64
+	MessagesBA int64
+	BitsAB     int64
+	BitsBA     int64
+}
+
+var _ Meter = (*CutCounts)(nil)
+
+// Observe tallies one message.
+func (c *CutCounts) Observe(round, from, to int, payload int64, bits int, dir Direction) {
+	switch dir {
+	case DirAliceToBob:
+		c.MessagesAB++
+		c.BitsAB += int64(bits)
+	case DirBobToAlice:
+		c.MessagesBA++
+		c.BitsBA += int64(bits)
+	default:
+		c.Internal++
+	}
+}
+
+// CutMessages returns the total crossing messages in both directions.
+func (c *CutCounts) CutMessages() int64 { return c.MessagesAB + c.MessagesBA }
+
+// CutBits returns the total crossing bits in both directions.
+func (c *CutCounts) CutBits() int64 { return c.BitsAB + c.BitsBA }

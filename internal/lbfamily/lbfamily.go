@@ -136,18 +136,14 @@ func MeasureStats(fam Family) (Stats, error) {
 // complexity table (DISJ and EQ and their negations); the result drops
 // constant factors.
 func ImpliedLowerBound(stats Stats, f comm.Function) (float64, error) {
-	inner := f
-	if neg, ok := f.(comm.Negation); ok {
-		inner = neg.F // CC(f) = CC(not f)
-	}
-	c, ok := comm.KnownComplexity(inner)
+	cc, ok := comm.KnownDeterministicCC(f, stats.K)
 	if !ok {
 		return 0, fmt.Errorf("no known complexity for function %s", f.Name())
 	}
 	if stats.CutSize == 0 || stats.N < 2 {
 		return 0, fmt.Errorf("degenerate family stats: %+v", stats)
 	}
-	return c.Deterministic(stats.K) / (float64(stats.CutSize) * math.Log2(float64(stats.N))), nil
+	return cc / (float64(stats.CutSize) * math.Log2(float64(stats.N))), nil
 }
 
 // Verify checks Definition 1.1 exhaustively for all input pairs; it

@@ -1,0 +1,306 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+	"congesthard/internal/lbfamily"
+)
+
+// Algorithm is a CONGEST algorithm paired with a family predicate: Prepare
+// builds the node programs for one instance graph and an extractor that
+// turns the finished run into the algorithm's yes/no decision for P.
+type Algorithm struct {
+	// Name identifies the algorithm in reports, e.g. "collect".
+	Name string
+	// Exact declares that the algorithm decides P exactly; Certify flags
+	// the declaration against the measured mismatch count.
+	Exact bool
+	// Prepare is called once per (x, y) pair with the instance graph, the
+	// run's bandwidth and the pair's seed. The returned factory must be
+	// deterministic given (g, seed) — transcript replay re-executes it.
+	Prepare func(g *graph.Graph, bandwidth int, seed int64) (congest.Factory, func(*congest.Result) (bool, error), error)
+}
+
+// Config tunes Certify.
+type Config struct {
+	// Pairs is the number of sampled (x, y) pairs; 0 selects exhaustive
+	// certification over all 2^(2K) pairs, which requires K <= 6.
+	Pairs int
+	// Seed drives pair sampling and the per-pair algorithm seeds.
+	Seed int64
+	// Bandwidth overrides the CONGEST bandwidth B (0 selects the default
+	// 2*ceil(log2(n+1))).
+	Bandwidth int
+	// ForceRebuild disables the DeltaFamily incremental instance builder,
+	// rebuilding every G_{x,y} from scratch (the differential-testing
+	// reference path).
+	ForceRebuild bool
+	// TranscriptChecks runs the Theorem 1.1 simulation-invariant check
+	// (VerifySimulation) on that many of the certified pairs: the run is
+	// replayed from Alice's side plus the recorded transcript and must
+	// reproduce her outputs and messages exactly.
+	TranscriptChecks int
+}
+
+// PairReport is the measured outcome of one (x, y) certification run.
+type PairReport struct {
+	X, Y        comm.Bits
+	Rounds      int
+	Messages    int64
+	CutMessages int64
+	CutBits     int64
+	Output      bool
+	Want        bool
+	Correct     bool
+}
+
+// Report aggregates a certification: per-pair measurements plus the
+// Theorem 1.1 accounting. SimBits = 2·maxRounds·B·|E_cut| is the protocol
+// budget the slowest run grants the two-party simulation; CCBound is the
+// known deterministic communication complexity of the family's function at
+// input length K (0 if the function is not in the known table). An exact
+// algorithm must satisfy SimBits >= CCBound — that inequality is the lower
+// bound.
+type Report struct {
+	Family     string
+	Algorithm  string
+	Exact      bool
+	Exhaustive bool
+	Stats      lbfamily.Stats
+	Bandwidth  int
+	Pairs      []PairReport
+	Mismatches int
+	MaxRounds  int
+	MaxCutBits int64
+	SimBits    int64
+	CCBound    float64
+}
+
+// Certify runs alg over (x, y) input pairs of fam — exhaustively when
+// cfg.Pairs == 0 (K <= 6), sampled otherwise — with the Alice/Bob cut
+// metered, and reports per-pair {rounds, cut traffic, output, correct}
+// plus the aggregate rounds·B·|E_cut| budget against CC(f). Families
+// implementing lbfamily.DeltaFamily are walked incrementally: the base
+// instance is built once and consecutive pairs differ by ApplyBit toggles
+// (Gray-code order over the exhaustive cube), instead of rebuilding every
+// G_{x,y}; the rebuild path remains as fallback and reference.
+func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
+	if alg.Prepare == nil {
+		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
+	}
+	side, err := familySide(fam)
+	if err != nil {
+		return nil, fmt.Errorf("alice side: %w", err)
+	}
+	stats, err := lbfamily.MeasureStats(fam)
+	if err != nil {
+		return nil, err
+	}
+	if len(side) != stats.N {
+		return nil, fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), stats.N)
+	}
+	bandwidth := cfg.Bandwidth
+	if bandwidth == 0 {
+		bandwidth = congest.DefaultBandwidth(stats.N)
+	}
+	xs, ys, exhaustive, err := certifyPairs(fam.K(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Family:     fam.Name(),
+		Algorithm:  alg.Name,
+		Exact:      alg.Exact,
+		Exhaustive: exhaustive,
+		Stats:      stats,
+		Bandwidth:  bandwidth,
+		Pairs:      make([]PairReport, len(xs)),
+	}
+	f := fam.Func()
+	checksLeft := cfg.TranscriptChecks
+	runPair := func(idx int, g *graph.Graph, x, y comm.Bits) error {
+		factory, decide, err := alg.Prepare(g, bandwidth, pairSeed(cfg.Seed, idx))
+		if err != nil {
+			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
+		}
+		opts := congest.Options{BandwidthBits: bandwidth, CutSide: side}
+		var res *congest.Result
+		if checksLeft > 0 {
+			checksLeft--
+			_, res, err = VerifySimulation(g, side, factory, opts)
+		} else {
+			res, err = congest.Run(g, factory, opts)
+		}
+		if err != nil {
+			return fmt.Errorf("run (%s,%s): %w", x, y, err)
+		}
+		output, err := decide(res)
+		if err != nil {
+			return fmt.Errorf("decide (%s,%s): %w", x, y, err)
+		}
+		want := f.Eval(x, y)
+		report.Pairs[idx] = PairReport{
+			X: x.Clone(), Y: y.Clone(),
+			Rounds:      res.Rounds,
+			Messages:    res.Messages,
+			CutMessages: res.CutMessages,
+			CutBits:     res.CutBits,
+			Output:      output,
+			Want:        want,
+			Correct:     output == want,
+		}
+		return nil
+	}
+
+	ran := false
+	if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
+		if err := certifyDelta(df, xs, ys, runPair); err != nil {
+			return nil, err
+		}
+		ran = true
+	}
+	if !ran {
+		for idx := range xs {
+			g, err := fam.Build(xs[idx], ys[idx])
+			if err != nil {
+				return nil, fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+			}
+			if err := runPair(idx, g, xs[idx], ys[idx]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i := range report.Pairs {
+		p := &report.Pairs[i]
+		if !p.Correct {
+			report.Mismatches++
+		}
+		if p.Rounds > report.MaxRounds {
+			report.MaxRounds = p.Rounds
+		}
+		if p.CutBits > report.MaxCutBits {
+			report.MaxCutBits = p.CutBits
+		}
+	}
+	report.SimBits = 2 * int64(report.MaxRounds) * int64(bandwidth) * int64(stats.CutSize)
+	if cc, ok := comm.KnownDeterministicCC(f, stats.K); ok {
+		report.CCBound = cc
+	}
+	return report, nil
+}
+
+// certifyPairs selects the certified input pairs: the full 2^(2K) cube in
+// Gray-friendly row-major order when cfg.Pairs == 0, otherwise the two
+// corner pairs plus deduplicated random draws up to cfg.Pairs total.
+func certifyPairs(k int, cfg Config) (xs, ys []comm.Bits, exhaustive bool, err error) {
+	if cfg.Pairs <= 0 {
+		if k > 6 {
+			return nil, nil, false, fmt.Errorf("exhaustive certification limited to K <= 6, got %d (set Pairs for sampling)", k)
+		}
+		var inputs []comm.Bits
+		if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
+			return nil, nil, false, err
+		}
+		// Gray order over y in the outer walk and over x within each y
+		// column keeps consecutive pairs cheap for the DeltaFamily
+		// builder: Hamming distance 1 within a column, and at each
+		// column boundary one y bit plus the x jump from the last Gray
+		// element back to zero (applyDiff handles any distance).
+		for yi := range inputs {
+			y := inputs[yi^(yi>>1)]
+			for xi := range inputs {
+				xs = append(xs, inputs[xi^(xi>>1)])
+				ys = append(ys, y)
+			}
+		}
+		return xs, ys, true, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zero, ones := comm.NewBits(k), comm.OnesBits(k)
+	seen := map[string]bool{}
+	add := func(x, y comm.Bits) {
+		key := x.String() + "|" + y.String()
+		if !seen[key] {
+			seen[key] = true
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	add(zero, zero)
+	add(ones, ones)
+	// Stop early once every distinct pair has been drawn (the 2^(2k)
+	// pair space can be smaller than the request).
+	space := -1
+	if 2*k < 63 {
+		space = 1 << uint(2*k)
+	}
+	for attempts := 0; len(xs) < cfg.Pairs && len(xs) != space && attempts < 64*cfg.Pairs; attempts++ {
+		add(comm.RandomBits(k, rng), comm.RandomBits(k, rng))
+	}
+	return xs, ys, false, nil
+}
+
+// certifyDelta walks the pair list on a single mutable instance built once
+// from BuildBase, toggling only the bits on which consecutive pairs differ.
+func certifyDelta(df lbfamily.DeltaFamily, xs, ys []comm.Bits, runPair func(idx int, g *graph.Graph, x, y comm.Bits) error) error {
+	g, err := df.BuildBase()
+	if err != nil {
+		return fmt.Errorf("delta base build: %w", err)
+	}
+	k := df.K()
+	curX, curY := comm.NewBits(k), comm.NewBits(k)
+	applyDiff := func(player int, cur, target comm.Bits) error {
+		var applyErr error
+		cur.ForEachDiff(target, func(i int) bool {
+			if err := df.ApplyBit(g, player, i, target.Get(i)); err != nil {
+				applyErr = err
+				return false
+			}
+			cur.Set(i, target.Get(i))
+			return true
+		})
+		return applyErr
+	}
+	for idx := range xs {
+		if err := applyDiff(lbfamily.PlayerY, curY, ys[idx]); err != nil {
+			return fmt.Errorf("delta apply y at (%s,%s): %w", xs[idx], ys[idx], err)
+		}
+		if err := applyDiff(lbfamily.PlayerX, curX, xs[idx]); err != nil {
+			return fmt.Errorf("delta apply x at (%s,%s): %w", xs[idx], ys[idx], err)
+		}
+		if err := runPair(idx, g, xs[idx], ys[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the package's shared bit mixer, used for per-pair seeds
+// and shared-randomness sampling coins.
+func splitmix64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pairSeed derives the per-pair algorithm seed, independent of the visit
+// order.
+func pairSeed(seed int64, idx int) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(uint64(idx))))
+}
+
+// familySide mirrors lbfamily's side resolution: DerivedFamily surfaces
+// its build error through AliceSideChecked.
+func familySide(fam lbfamily.Family) ([]bool, error) {
+	if checked, ok := fam.(interface{ AliceSideChecked() ([]bool, error) }); ok {
+		return checked.AliceSideChecked()
+	}
+	return fam.AliceSide(), nil
+}
