@@ -25,6 +25,7 @@ import (
 	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
+	"congesthard/internal/dicongest"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
@@ -547,6 +548,59 @@ func BenchmarkCongestRunCore(b *testing.B) {
 	}
 }
 
+// diChatterNode is chatterNode for the directed simulator.
+type diChatterNode struct {
+	outbox []dicongest.Message
+	budget int
+}
+
+func (c *diChatterNode) Round(round int, inbox []dicongest.Incoming) ([]dicongest.Message, bool) {
+	if round >= c.budget {
+		return nil, true
+	}
+	return c.outbox, false
+}
+
+func (c *diChatterNode) Output() interface{} { return nil }
+
+// BenchmarkDicongestRunCore measures the directed simulator core: an
+// all-to-links flood on a 64-vertex out-degree-4 directed circulant (each
+// vertex has 8 full-duplex links, 512 messages per round network-wide).
+// allocs/op is flat across the rounds sub-benchmarks — the per-round
+// simulation is allocation-free, like the undirected core.
+func BenchmarkDicongestRunCore(b *testing.B) {
+	const n = 64
+	d := graph.NewDigraph(n)
+	for v := 0; v < n; v++ {
+		for off := 1; off <= 4; off++ {
+			d.MustAddArc(v, (v+off)%n)
+		}
+	}
+	var err error
+	for _, rounds := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			factory := func(local dicongest.Local) dicongest.Node {
+				out := make([]dicongest.Message, len(local.Neighbors))
+				for i, nbr := range local.Neighbors {
+					out[i] = dicongest.Message{To: nbr, Payload: int64(local.ID)}
+				}
+				return &diChatterNode{outbox: out, budget: rounds}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *dicongest.Result
+			for i := 0; i < b.N; i++ {
+				res, err = dicongest.Run(d, factory, dicongest.Options{MaxRounds: rounds + 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds/op")
+			b.ReportMetric(float64(res.Messages), "msgs/op")
+		})
+	}
+}
+
 // BenchmarkVerifyExhaustive runs the full Definition 1.1 exhaustive
 // verification (all 2^(2K) pairs, parallel across cores) for the heaviest
 // Section 2-4 families; this is the workload the constructions test
@@ -596,6 +650,13 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 				b.Fatal(err)
 			}
 			return func() error { return lbfamily.Verify(fam) }
+		}},
+		{"dirsteinerlb", func(b *testing.B) func() error {
+			fam, err := kmdslb.NewDirSteiner(kmdsParams(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return func() error { return lbfamily.VerifyDigraph(fam) }
 		}},
 		{"boundedlb", func(b *testing.B) func() error {
 			fam, err := boundedlb.NewFamily(2, 3)

@@ -1,13 +1,20 @@
 // Command benchjson converts `go test -bench` output into a
 // machine-readable JSON array, so CI can archive the performance
-// trajectory of the tracked benchmarks as BENCH_<sha>.json artifacts.
+// trajectory of the tracked benchmarks as BENCH_<sha>.json artifacts, and
+// diffs two such artifacts so CI can fail on ns/op regressions between
+// consecutive commits.
 //
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson -out BENCH_abc1234.json
 //	benchjson -in bench.out -out BENCH_abc1234.json
+//	benchjson -diff [-max-regress 25] BENCH_old.json BENCH_new.json
 //
-// Lines that are not benchmark results (headers, PASS, ok) are ignored.
+// In convert mode, lines that are not benchmark results (headers, PASS,
+// ok) are ignored. In diff mode, per-benchmark ns/op deltas are printed
+// for every name present in both files (added and removed benchmarks are
+// noted but never fail the diff), and the exit status is non-zero when any
+// shared benchmark regressed by more than -max-regress percent.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,7 +41,32 @@ type Entry struct {
 func main() {
 	in := flag.String("in", "", "input file (default stdin)")
 	out := flag.String("out", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "diff two BENCH_*.json files: benchjson -diff old.json new.json")
+	maxRegress := flag.Float64("max-regress", 25, "with -diff: fail when any shared benchmark's ns/op grew by more than this percentage")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-max-regress pct] old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readEntries(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cur, err := readEntries(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rows := Diff(old, cur)
+		regressed := PrintDiff(os.Stdout, rows, *maxRegress)
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "%d benchmark(s) regressed by more than %.0f%% ns/op\n", regressed, *maxRegress)
+			os.Exit(1)
+		}
+		return
+	}
 	src := io.Reader(os.Stdin)
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -67,6 +100,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// readEntries loads one BENCH_*.json artifact.
+func readEntries(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// DiffRow is one benchmark's trajectory step. Added/Removed rows carry only
+// the side that exists; shared rows carry the ns/op delta in percent
+// (positive = slower).
+type DiffRow struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64
+	Added    bool
+	Removed  bool
+}
+
+// Diff matches two artifact entry lists by benchmark name (first
+// occurrence wins on duplicates) and returns one row per name, sorted.
+func Diff(old, cur []Entry) []DiffRow {
+	oldByName := map[string]Entry{}
+	for _, e := range old {
+		if _, ok := oldByName[e.Name]; !ok {
+			oldByName[e.Name] = e
+		}
+	}
+	var rows []DiffRow
+	seen := map[string]bool{}
+	for _, e := range cur {
+		if seen[e.Name] {
+			continue
+		}
+		seen[e.Name] = true
+		o, ok := oldByName[e.Name]
+		if !ok {
+			rows = append(rows, DiffRow{Name: e.Name, NewNs: e.NsPerOp, Added: true})
+			continue
+		}
+		row := DiffRow{Name: e.Name, OldNs: o.NsPerOp, NewNs: e.NsPerOp}
+		if o.NsPerOp > 0 {
+			row.DeltaPct = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		rows = append(rows, row)
+	}
+	for _, e := range old {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			rows = append(rows, DiffRow{Name: e.Name, OldNs: e.NsPerOp, Removed: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// PrintDiff renders the rows and returns how many shared benchmarks
+// regressed beyond maxRegress percent.
+func PrintDiff(w io.Writer, rows []DiffRow, maxRegress float64) int {
+	regressed := 0
+	for _, r := range rows {
+		switch {
+		case r.Added:
+			fmt.Fprintf(w, "%-60s %14s -> %12.1f ns/op  (new)\n", r.Name, "-", r.NewNs)
+		case r.Removed:
+			fmt.Fprintf(w, "%-60s %14.1f -> %12s ns/op  (removed)\n", r.Name, r.OldNs, "-")
+		default:
+			marker := ""
+			if r.DeltaPct > maxRegress {
+				marker = "  REGRESSION"
+				regressed++
+			}
+			fmt.Fprintf(w, "%-60s %14.1f -> %12.1f ns/op  %+7.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, marker)
+		}
+	}
+	return regressed
 }
 
 // Parse extracts benchmark entries from `go test -bench` output: lines of

@@ -39,6 +39,56 @@ ok  	congesthard	12.3s
 	}
 }
 
+func TestDiffMatchesByNameAndFlagsRegressions(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA-8", NsPerOp: 1000},
+		{Name: "BenchmarkB-8", NsPerOp: 2000},
+		{Name: "BenchmarkGone-8", NsPerOp: 5},
+	}
+	cur := []Entry{
+		{Name: "BenchmarkB-8", NsPerOp: 2600}, // +30%: regression at 25%
+		{Name: "BenchmarkA-8", NsPerOp: 900},  // -10%: fine
+		{Name: "BenchmarkNew-8", NsPerOp: 7},
+	}
+	rows := Diff(old, cur)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byName := map[string]DiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkA-8"]; r.DeltaPct > -9.9 || r.DeltaPct < -10.1 || r.Added || r.Removed {
+		t.Errorf("A row %+v", r)
+	}
+	if r := byName["BenchmarkB-8"]; r.DeltaPct < 29.9 || r.DeltaPct > 30.1 {
+		t.Errorf("B row %+v", r)
+	}
+	if r := byName["BenchmarkNew-8"]; !r.Added {
+		t.Errorf("new row not marked added: %+v", r)
+	}
+	if r := byName["BenchmarkGone-8"]; !r.Removed {
+		t.Errorf("gone row not marked removed: %+v", r)
+	}
+	var out strings.Builder
+	if got := PrintDiff(&out, rows, 25); got != 1 {
+		t.Errorf("regressed = %d, want 1 (only B; added/removed rows never fail)", got)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION marker:\n%s", out.String())
+	}
+	if got := PrintDiff(&out, rows, 35); got != 0 {
+		t.Errorf("regressed = %d at 35%% threshold, want 0", got)
+	}
+}
+
+func TestDiffZeroBaselineDoesNotDivide(t *testing.T) {
+	rows := Diff([]Entry{{Name: "BenchmarkZ-8", NsPerOp: 0}}, []Entry{{Name: "BenchmarkZ-8", NsPerOp: 10}})
+	if len(rows) != 1 || rows[0].DeltaPct != 0 {
+		t.Errorf("zero baseline rows %+v", rows)
+	}
+}
+
 func TestParseIgnoresGarbage(t *testing.T) {
 	entries, err := Parse(strings.NewReader("Benchmark\nBenchmarkX notanumber ns/op\nhello\n"))
 	if err != nil {

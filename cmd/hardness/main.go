@@ -17,6 +17,8 @@
 //	hardness -certify mds -alg collect          # exhaustive (K <= 6)
 //	hardness -certify mds -alg greedy -pairs 32 # sampled
 //	hardness -certify maxcut -alg sampled -pairs 16 -seed 7
+//	hardness -certify hamlb -alg collect        # directed (dicongest) pairing
+//	hardness -certify dir-steiner -alg collect -pairs 8
 package main
 
 import (
@@ -55,8 +57,8 @@ var seed int64
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (E1..E18, see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
-	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', or 'list')")
-	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|greedy; mvc: matching; maxcut: sampled|exact)")
+	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', 'hamlb', 'dir-steiner', or 'list')")
+	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|greedy; mvc: matching; maxcut: sampled|exact; hamlb: collect|greedy-path; dir-steiner: collect)")
 	pairs := flag.Int("pairs", 0, "sampled (x,y) pairs for -certify; 0 = exhaustive over all 2^(2K) pairs (K <= 6)")
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
@@ -73,52 +75,113 @@ func main() {
 	}
 }
 
+// certifyRunner executes one wired family/algorithm pairing under a
+// certification config — undirected pairings go through reduction.Certify,
+// directed ones through reduction.CertifyDigraph; the report shape is
+// shared.
+type certifyRunner func(cfg reduction.Config) (*reduction.Report, error)
+
+// undirectedPairing adapts a Family + Algorithm builder to a certifyRunner.
+func undirectedPairing(build func() (lbfamily.Family, reduction.Algorithm, error)) func() (certifyRunner, error) {
+	return func() (certifyRunner, error) {
+		fam, alg, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return func(cfg reduction.Config) (*reduction.Report, error) {
+			return reduction.Certify(fam, alg, cfg)
+		}, nil
+	}
+}
+
+// directedPairing adapts a DigraphFamily + DigraphAlgorithm builder.
+func directedPairing(build func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error)) func() (certifyRunner, error) {
+	return func() (certifyRunner, error) {
+		fam, alg, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return func(cfg reduction.Config) (*reduction.Report, error) {
+			return reduction.CertifyDigraph(fam, alg, cfg)
+		}, nil
+	}
+}
+
 // certifyPairings maps -certify/-alg to reduction pairings, at the same
-// k = 2 parameterization the exhaustive experiments use.
-func certifyPairings() (map[string]map[string]func() (lbfamily.Family, reduction.Algorithm, error), []string) {
-	pairings := map[string]map[string]func() (lbfamily.Family, reduction.Algorithm, error){
+// k = 2 (resp. T = 4) parameterizations the exhaustive experiments use.
+func certifyPairings() (map[string]map[string]func() (certifyRunner, error), []string) {
+	pairings := map[string]map[string]func() (certifyRunner, error){
 		"mds": {
-			"collect": func() (lbfamily.Family, reduction.Algorithm, error) {
+			"collect": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
 				fam, err := mdslb.New(2)
 				if err != nil {
 					return nil, reduction.Algorithm{}, err
 				}
 				return fam, reduction.CollectMDS(fam), nil
-			},
-			"greedy": func() (lbfamily.Family, reduction.Algorithm, error) {
+			}),
+			"greedy": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
 				fam, err := mdslb.New(2)
 				if err != nil {
 					return nil, reduction.Algorithm{}, err
 				}
 				return fam, reduction.GreedyMDS(fam), nil
-			},
+			}),
 		},
 		"mvc": {
-			"matching": func() (lbfamily.Family, reduction.Algorithm, error) {
+			"matching": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
 				fam, err := mvclb.New(2)
 				if err != nil {
 					return nil, reduction.Algorithm{}, err
 				}
 				return fam, reduction.MatchingMVC(fam), nil
-			},
+			}),
 		},
 		"maxcut": {
-			"sampled": func() (lbfamily.Family, reduction.Algorithm, error) {
+			"sampled": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
 				fam, err := maxcutlb.New(2)
 				if err != nil {
 					return nil, reduction.Algorithm{}, err
 				}
 				a, err := reduction.SampledMaxCut(fam, 0.5)
 				return fam, a, err
-			},
-			"exact": func() (lbfamily.Family, reduction.Algorithm, error) {
+			}),
+			"exact": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
 				fam, err := maxcutlb.New(2)
 				if err != nil {
 					return nil, reduction.Algorithm{}, err
 				}
 				a, err := reduction.SampledMaxCut(fam, 1)
 				return fam, a, err
-			},
+			}),
+		},
+		"hamlb": {
+			"collect": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
+				fam, err := hamlb.New(2)
+				if err != nil {
+					return nil, reduction.DigraphAlgorithm{}, err
+				}
+				return fam, reduction.CollectHamPath(fam), nil
+			}),
+			"greedy-path": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
+				fam, err := hamlb.New(2)
+				if err != nil {
+					return nil, reduction.DigraphAlgorithm{}, err
+				}
+				return fam, reduction.GreedyHamPath(fam), nil
+			}),
+		},
+		"dir-steiner": {
+			"collect": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
+				p, err := kmdsParams()
+				if err != nil {
+					return nil, reduction.DigraphAlgorithm{}, err
+				}
+				fam, err := kmdslb.NewDirSteiner(p)
+				if err != nil {
+					return nil, reduction.DigraphAlgorithm{}, err
+				}
+				return fam, reduction.CollectDirSteiner(fam), nil
+			}),
 		},
 	}
 	var index []string
@@ -147,12 +210,12 @@ func runCertify(famName, algName string, pairs int) error {
 	if !ok {
 		return fmt.Errorf("unknown algorithm %q for family %q (try -certify list)", algName, famName)
 	}
-	fam, alg, err := build()
+	run, err := build()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("seed=%d\n", seed)
-	rep, err := reduction.Certify(fam, alg, reduction.Config{
+	rep, err := run(reduction.Config{
 		Pairs:            pairs,
 		Seed:             seed,
 		TranscriptChecks: 1,

@@ -425,6 +425,67 @@ func TestMeterClassifiesDirections(t *testing.T) {
 	}
 }
 
+// TestMeterEmptyCut: a bipartition with zero crossing edges (all vertices
+// on one side) is valid — the meter observes only internal messages and
+// the cut totals stay zero. Shared edge case with the directed simulator.
+func TestMeterEmptyCut(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allTrue := make([]bool, 6)
+	for i := range allTrue {
+		allTrue[i] = true
+	}
+	for _, side := range [][]bool{make([]bool, 6), allTrue} {
+		counts := &CutCounts{}
+		res, err := Run(g, newFloodMin(4), Options{CutSide: side, Meter: counts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CutMessages != 0 || res.CutBits != 0 {
+			t.Errorf("empty cut metered traffic: %d msgs, %d bits", res.CutMessages, res.CutBits)
+		}
+		if counts.CutMessages() != 0 || counts.CutBits() != 0 {
+			t.Errorf("meter counted crossing traffic on an empty cut: %+v", counts)
+		}
+		if counts.Internal != res.Messages {
+			t.Errorf("meter internal %d != total messages %d", counts.Internal, res.Messages)
+		}
+	}
+}
+
+// TestMeterSingleVertexSides: bipartitions with a single vertex on either
+// side; the cut edges are exactly that vertex's incident edges.
+func TestMeterSingleVertexSides(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alice := range []int{0, 3} {
+		for _, invert := range []bool{false, true} {
+			side := make([]bool, 6)
+			for v := range side {
+				side[v] = (v == alice) != invert
+			}
+			counts := &CutCounts{}
+			res, err := Run(g, newFloodMin(4), Options{CutSide: side, Meter: counts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The single vertex has 2 incident cycle edges; 4 sending
+			// rounds cross each twice per round.
+			if res.CutMessages != 16 {
+				t.Errorf("alice=%d invert=%v: cut messages = %d, want 16", alice, invert, res.CutMessages)
+			}
+			if counts.MessagesAB != 8 || counts.MessagesBA != 8 {
+				t.Errorf("alice=%d invert=%v: meter split %d/%d, want 8/8",
+					alice, invert, counts.MessagesAB, counts.MessagesBA)
+			}
+		}
+	}
+}
+
 func TestMeterCountsMatchMetrics(t *testing.T) {
 	g := graph.Complete(6)
 	side := []bool{true, true, true, false, false, false}

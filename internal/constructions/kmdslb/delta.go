@@ -10,12 +10,13 @@ import (
 )
 
 var (
-	_ lbfamily.DeltaFamily        = (*TwoMDSFamily)(nil)
-	_ lbfamily.OracleFamily       = (*TwoMDSFamily)(nil)
-	_ lbfamily.DeltaFamily        = (*KMDSFamily)(nil)
-	_ lbfamily.OracleFamily       = (*KMDSFamily)(nil)
-	_ lbfamily.DeltaFamily        = (*NodeSteinerFamily)(nil)
-	_ lbfamily.DeltaDigraphFamily = (*DirSteinerFamily)(nil)
+	_ lbfamily.DeltaFamily         = (*TwoMDSFamily)(nil)
+	_ lbfamily.OracleFamily        = (*TwoMDSFamily)(nil)
+	_ lbfamily.DeltaFamily         = (*KMDSFamily)(nil)
+	_ lbfamily.OracleFamily        = (*KMDSFamily)(nil)
+	_ lbfamily.DeltaFamily         = (*NodeSteinerFamily)(nil)
+	_ lbfamily.DeltaDigraphFamily  = (*DirSteinerFamily)(nil)
+	_ lbfamily.DigraphOracleFamily = (*DirSteinerFamily)(nil)
 )
 
 // The Section 4 constructions are "pure weight gadget" families: the edge
@@ -124,6 +125,23 @@ func (p *powerMDSOracle) Eval(g *graph.Graph) (bool, error) {
 func (f *DirSteinerFamily) BuildBase() (*graph.Digraph, error) {
 	zero := comm.NewBits(f.K())
 	return f.Build(zero, zero)
+}
+
+// NewDigraphPredicateOracle returns a per-worker arena-backed evaluator of
+// the Theorem 4.7 predicate (directed Steiner tree of weight at most 2
+// rooted at R spanning all terminals).
+func (f *DirSteinerFamily) NewDigraphPredicateOracle() lbfamily.DigraphPredicateOracle {
+	return &dirSteinerPredOracle{root: f.Inner.Root(), terminals: f.Terminals()}
+}
+
+type dirSteinerPredOracle struct {
+	o         solver.DirSteinerOracle
+	root      int
+	terminals []int
+}
+
+func (p *dirSteinerPredOracle) Eval(d *graph.Digraph) (bool, error) {
+	return p.o.HasDirectedSteinerWithin(d, p.root, p.terminals, 2)
 }
 
 // ApplyBit toggles the Figure 6 arcs input bit i controls: x_i attaches

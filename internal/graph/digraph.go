@@ -187,6 +187,32 @@ func (d *Digraph) Clone() *Digraph {
 	return c
 }
 
+// InducedSubdigraph returns the sub-digraph induced by keep (a vertex
+// predicate), along with the mapping from new vertex ids to original ids.
+// Vertices keep their relative order, so inducing on the full vertex set
+// is the identity relabeling.
+func (d *Digraph) InducedSubdigraph(keep func(v int) bool) (*Digraph, []int) {
+	origID := make([]int, 0, len(d.out))
+	newID := make([]int, len(d.out))
+	for v := range d.out {
+		newID[v] = -1
+		if keep(v) {
+			newID[v] = len(origID)
+			origID = append(origID, v)
+		}
+	}
+	sub := NewDigraph(len(origID))
+	for i, v := range origID {
+		sub.vw[i] = d.vw[v]
+		for _, h := range d.out[v] {
+			if newID[h.To] >= 0 {
+				sub.MustAddWeightedArc(i, newID[h.To], h.Weight)
+			}
+		}
+	}
+	return sub, origID
+}
+
 // Underlying returns the undirected graph obtained by forgetting arc
 // directions (antiparallel arcs collapse to a single edge keeping the first
 // weight seen).

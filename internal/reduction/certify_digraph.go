@@ -1,0 +1,174 @@
+package reduction
+
+import (
+	"fmt"
+
+	"congesthard/internal/comm"
+	"congesthard/internal/congest"
+	"congesthard/internal/dicongest"
+	"congesthard/internal/graph"
+	"congesthard/internal/lbfamily"
+)
+
+// DigraphAlgorithm is a CONGEST algorithm for directed instances, paired
+// with a family predicate — the dicongest twin of Algorithm.
+type DigraphAlgorithm struct {
+	// Name identifies the algorithm in reports, e.g. "collect".
+	Name string
+	// Exact declares that the algorithm decides P exactly; CertifyDigraph
+	// flags the declaration against the measured mismatch count.
+	Exact bool
+	// Prepare is called once per (x, y) pair with the instance digraph,
+	// the run's bandwidth and the pair's seed. The returned factory must
+	// be deterministic given (d, seed) — transcript replay re-executes it.
+	Prepare func(d *graph.Digraph, bandwidth int, seed int64) (dicongest.Factory, func(*dicongest.Result) (bool, error), error)
+}
+
+// CertifyDigraph is Certify for directed families: it runs alg over
+// (x, y) input pairs of fam — exhaustively when cfg.Pairs == 0
+// (K <= MaxExhaustiveCertifyK), sampled otherwise — with the Alice/Bob
+// arc cut metered, and reports per-pair {rounds, cut traffic, output,
+// correct} plus the aggregate 2·T·B·|E_cut| budget against CC(f).
+// Families implementing lbfamily.DeltaDigraphFamily are walked
+// incrementally: the base instance is built once and consecutive pairs
+// differ by ApplyBit arc toggles (Gray-code order over the exhaustive
+// cube), with the patchable out-adjacency snapshot spliced in place
+// between runs; the rebuild path remains as fallback and reference
+// (differential-tested pair-for-pair).
+func CertifyDigraph(fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config) (*Report, error) {
+	if alg.Prepare == nil {
+		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
+	}
+	side, err := digraphFamilySide(fam)
+	if err != nil {
+		return nil, fmt.Errorf("alice side: %w", err)
+	}
+	stats, err := lbfamily.MeasureDigraphStats(fam)
+	if err != nil {
+		return nil, err
+	}
+	if len(side) != stats.N {
+		return nil, fmt.Errorf("AliceSide has %d entries for %d vertices", len(side), stats.N)
+	}
+	bandwidth := cfg.Bandwidth
+	if bandwidth == 0 {
+		bandwidth = congest.DefaultBandwidth(stats.N)
+	}
+	xs, ys, exhaustive, err := certifyPairs(fam.K(), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Family:     fam.Name(),
+		Algorithm:  alg.Name,
+		Exact:      alg.Exact,
+		Exhaustive: exhaustive,
+		Stats:      stats,
+		Bandwidth:  bandwidth,
+		Pairs:      make([]PairReport, len(xs)),
+	}
+	f := fam.Func()
+	checksLeft := cfg.TranscriptChecks
+	runPair := func(idx int, d *graph.Digraph, x, y comm.Bits) error {
+		factory, decide, err := alg.Prepare(d, bandwidth, pairSeed(cfg.Seed, idx))
+		if err != nil {
+			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
+		}
+		opts := dicongest.Options{BandwidthBits: bandwidth, CutSide: side}
+		var res *dicongest.Result
+		if checksLeft > 0 {
+			checksLeft--
+			_, res, err = VerifyDigraphSimulation(d, side, factory, opts)
+		} else {
+			res, err = dicongest.Run(d, factory, opts)
+		}
+		if err != nil {
+			return fmt.Errorf("run (%s,%s): %w", x, y, err)
+		}
+		output, err := decide(res)
+		if err != nil {
+			return fmt.Errorf("decide (%s,%s): %w", x, y, err)
+		}
+		want := f.Eval(x, y)
+		report.Pairs[idx] = PairReport{
+			X: x.Clone(), Y: y.Clone(),
+			Rounds:      res.Rounds,
+			Messages:    res.Messages,
+			CutMessages: res.CutMessages,
+			CutBits:     res.CutBits,
+			Output:      output,
+			Want:        want,
+			Correct:     output == want,
+		}
+		return nil
+	}
+
+	ran := false
+	if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
+		if err := certifyDigraphDelta(df, xs, ys, runPair); err != nil {
+			return nil, err
+		}
+		ran = true
+	}
+	if !ran {
+		for idx := range xs {
+			d, err := fam.Build(xs[idx], ys[idx])
+			if err != nil {
+				return nil, fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+			}
+			if err := runPair(idx, d, xs[idx], ys[idx]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	report.finalize(f)
+	return report, nil
+}
+
+// certifyDigraphDelta walks the pair list on a single mutable instance
+// built once from BuildBase, toggling only the bits on which consecutive
+// pairs differ — the directed twin of certifyDelta.
+func certifyDigraphDelta(df lbfamily.DeltaDigraphFamily, xs, ys []comm.Bits, runPair func(idx int, d *graph.Digraph, x, y comm.Bits) error) error {
+	d, err := df.BuildBase()
+	if err != nil {
+		return fmt.Errorf("delta base build: %w", err)
+	}
+	k := df.K()
+	curX, curY := comm.NewBits(k), comm.NewBits(k)
+	applyDiff := func(player int, cur, target comm.Bits) error {
+		var applyErr error
+		cur.ForEachDiff(target, func(i int) bool {
+			if err := df.ApplyBit(d, player, i, target.Get(i)); err != nil {
+				applyErr = err
+				return false
+			}
+			cur.Set(i, target.Get(i))
+			return true
+		})
+		return applyErr
+	}
+	for idx := range xs {
+		if err := applyDiff(lbfamily.PlayerY, curY, ys[idx]); err != nil {
+			return fmt.Errorf("delta apply y at (%s,%s): %w", xs[idx], ys[idx], err)
+		}
+		if err := applyDiff(lbfamily.PlayerX, curX, xs[idx]); err != nil {
+			return fmt.Errorf("delta apply x at (%s,%s): %w", xs[idx], ys[idx], err)
+		}
+		if err := runPair(idx, d, xs[idx], ys[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// digraphFamilySide mirrors familySide for directed families: a family
+// that must build an instance to learn its partition surfaces the build
+// error through AliceSideChecked.
+func digraphFamilySide(fam lbfamily.DigraphFamily) ([]bool, error) {
+	if checked, ok := fam.(interface{ AliceSideChecked() ([]bool, error) }); ok {
+		return checked.AliceSideChecked()
+	}
+	return fam.AliceSide(), nil
+}

@@ -25,10 +25,18 @@ type Algorithm struct {
 	Prepare func(g *graph.Graph, bandwidth int, seed int64) (congest.Factory, func(*congest.Result) (bool, error), error)
 }
 
-// Config tunes Certify.
+// MaxExhaustiveCertifyK is the largest input length K for exhaustive
+// certification: all 2^(2K) pairs are simulated, so the cap keeps the
+// workload at 4096 CONGEST runs. It is shared by Certify and
+// CertifyDigraph; beyond it, set Config.Pairs > 0 for sampled
+// certification.
+const MaxExhaustiveCertifyK = 6
+
+// Config tunes Certify and CertifyDigraph.
 type Config struct {
 	// Pairs is the number of sampled (x, y) pairs; 0 selects exhaustive
-	// certification over all 2^(2K) pairs, which requires K <= 6.
+	// certification over all 2^(2K) pairs, which requires
+	// K <= MaxExhaustiveCertifyK.
 	Pairs int
 	// Seed drives pair sampling and the per-pair algorithm seeds.
 	Seed int64
@@ -176,23 +184,31 @@ func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 		}
 	}
 
-	for i := range report.Pairs {
-		p := &report.Pairs[i]
-		if !p.Correct {
-			report.Mismatches++
-		}
-		if p.Rounds > report.MaxRounds {
-			report.MaxRounds = p.Rounds
-		}
-		if p.CutBits > report.MaxCutBits {
-			report.MaxCutBits = p.CutBits
-		}
-	}
-	report.SimBits = 2 * int64(report.MaxRounds) * int64(bandwidth) * int64(stats.CutSize)
-	if cc, ok := comm.KnownDeterministicCC(f, stats.K); ok {
-		report.CCBound = cc
-	}
+	report.finalize(f)
 	return report, nil
+}
+
+// finalize computes the aggregate Theorem 1.1 accounting from the
+// recorded pairs: mismatch count, worst rounds/cut-bits, the
+// 2·T·B·|E_cut| simulation budget and the known CC(f) bound. Shared by
+// Certify and CertifyDigraph — the accounting is graph-kind agnostic.
+func (r *Report) finalize(f comm.Function) {
+	for i := range r.Pairs {
+		p := &r.Pairs[i]
+		if !p.Correct {
+			r.Mismatches++
+		}
+		if p.Rounds > r.MaxRounds {
+			r.MaxRounds = p.Rounds
+		}
+		if p.CutBits > r.MaxCutBits {
+			r.MaxCutBits = p.CutBits
+		}
+	}
+	r.SimBits = 2 * int64(r.MaxRounds) * int64(r.Bandwidth) * int64(r.Stats.CutSize)
+	if cc, ok := comm.KnownDeterministicCC(f, r.Stats.K); ok {
+		r.CCBound = cc
+	}
 }
 
 // certifyPairs selects the certified input pairs: the full 2^(2K) cube in
@@ -200,8 +216,8 @@ func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 // corner pairs plus deduplicated random draws up to cfg.Pairs total.
 func certifyPairs(k int, cfg Config) (xs, ys []comm.Bits, exhaustive bool, err error) {
 	if cfg.Pairs <= 0 {
-		if k > 6 {
-			return nil, nil, false, fmt.Errorf("exhaustive certification limited to K <= 6, got %d (set Pairs for sampling)", k)
+		if k > MaxExhaustiveCertifyK {
+			return nil, nil, false, fmt.Errorf("exhaustive certification limited to K <= %d, got %d (set Config.Pairs > 0 for sampled certification)", MaxExhaustiveCertifyK, k)
 		}
 		var inputs []comm.Bits
 		if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {

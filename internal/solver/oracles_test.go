@@ -88,3 +88,39 @@ func TestOraclesReusedAcrossSizesAgreeWithFreshCalls(t *testing.T) {
 		}
 	}
 }
+
+// TestDirSteinerOracleAgreesWithFreshCalls drives one DirSteinerOracle
+// across random sparse digraphs of varying sizes (mixed zero- and
+// positive-weight arcs, like the Figure 6 instances) and checks every
+// verdict against the package-level HasDirectedSteinerWithin.
+func TestDirSteinerOracleAgreesWithFreshCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var oracle DirSteinerOracle
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		d := graph.NewDigraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.25 {
+					w := int64(rng.Intn(3)) // weights 0..2, many free arcs
+					d.MustAddWeightedArc(u, v, w)
+				}
+			}
+		}
+		root := rng.Intn(n)
+		terminals := []int{rng.Intn(n), rng.Intn(n)}
+		budget := int64(rng.Intn(4))
+		got, errGot := oracle.HasDirectedSteinerWithin(d, root, terminals, budget)
+		want, errWant := HasDirectedSteinerWithin(d, root, terminals, budget)
+		if (errGot == nil) != (errWant == nil) {
+			t.Fatalf("trial %d: errors diverge: %v vs %v", trial, errGot, errWant)
+		}
+		if errGot == nil && got != want {
+			t.Fatalf("trial %d: oracle %v, fresh %v (n=%d root=%d terms=%v budget=%d)",
+				trial, got, want, n, root, terminals, budget)
+		}
+	}
+	if _, err := oracle.HasDirectedSteinerWithin(graph.NewDigraph(3), 7, nil, 1); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}

@@ -444,6 +444,103 @@ func HasDirectedSteinerWithin(d *graph.Digraph, root int, terminals []int, budge
 	return try(0, budget), nil
 }
 
+// DirSteinerOracle is the reusable-arena form of HasDirectedSteinerWithin:
+// it owns the positive-arc list, the enabled-arc stack and the
+// generation-stamped BFS scratch, so a verification worker holding one
+// across thousands of pairs stops paying per-call allocation. Verdicts
+// (and errors) match the package function exactly.
+type DirSteinerOracle struct {
+	positive []graph.Arc
+	enabled  [][2]int
+	seen     []int32
+	gen      int32
+	queue    []int
+}
+
+func (o *DirSteinerOracle) grow(n int) {
+	if len(o.seen) < n {
+		o.seen = make([]int32, n)
+		o.gen = 0
+	}
+	if cap(o.queue) < n {
+		o.queue = make([]int, 0, n)
+	}
+}
+
+// HasDirectedSteinerWithin decides whether all terminals are reachable
+// from root through a subgraph whose positive-weight arcs total at most
+// budget (zero-weight arcs are free), like the package function but on
+// the oracle's arena.
+func (o *DirSteinerOracle) HasDirectedSteinerWithin(d *graph.Digraph, root int, terminals []int, budget int64) (bool, error) {
+	n := d.N()
+	if root < 0 || root >= n {
+		return false, fmt.Errorf("root %d out of range", root)
+	}
+	o.grow(n)
+	o.positive = o.positive[:0]
+	for u := 0; u < n; u++ {
+		for _, h := range d.OutNeighbors(u) {
+			if h.Weight > 0 {
+				o.positive = append(o.positive, graph.Arc{From: u, To: h.To, Weight: h.Weight})
+			}
+		}
+	}
+	o.enabled = o.enabled[:0]
+	var try func(idx int, remaining int64) bool
+	try = func(idx int, remaining int64) bool {
+		if o.allReachable(d, root, terminals) {
+			return true
+		}
+		for i := idx; i < len(o.positive); i++ {
+			a := o.positive[i]
+			if a.Weight > remaining {
+				continue
+			}
+			o.enabled = append(o.enabled, [2]int{a.From, a.To})
+			if try(i+1, remaining-a.Weight) {
+				return true
+			}
+			o.enabled = o.enabled[:len(o.enabled)-1]
+		}
+		return false
+	}
+	return try(0, budget), nil
+}
+
+// allReachable is allTerminalsReachable on the arena: generation-stamped
+// seen marks (no clearing) and a linear scan of the small enabled stack
+// in place of the map.
+func (o *DirSteinerOracle) allReachable(d *graph.Digraph, root int, terminals []int) bool {
+	o.gen++
+	o.queue = o.queue[:0]
+	o.queue = append(o.queue, root)
+	o.seen[root] = o.gen
+	for head := 0; head < len(o.queue); head++ {
+		v := o.queue[head]
+		for _, h := range d.OutNeighbors(v) {
+			usable := h.Weight == 0
+			if !usable {
+				for _, e := range o.enabled {
+					if e[0] == v && e[1] == h.To {
+						usable = true
+						break
+					}
+				}
+			}
+			if usable && o.seen[h.To] != o.gen {
+				o.seen[h.To] = o.gen
+				o.queue = append(o.queue, h.To)
+			}
+		}
+	}
+	for _, term := range terminals {
+		if o.seen[term] != o.gen {
+			return false
+		}
+	}
+	return true
+}
+
 func terminalsConnected(g *graph.Graph, terminals []int, allowed []bool) bool {
 	return newBFSScratch(g.N()).terminalsConnected(g, terminals, allowed)
 }
