@@ -26,6 +26,7 @@ import (
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
 	"congesthard/internal/dicongest"
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
@@ -514,7 +515,9 @@ func (c *chatterNode) Output() interface{} { return nil }
 // flood on a 64-vertex degree-8 circulant graph. allocs/op is flat across
 // the rounds sub-benchmarks — the per-round simulation is allocation-free,
 // so only the O(1) per-Run setup allocates (compare rounds=64 with
-// rounds=1024: same allocs/op).
+// rounds=1024: same allocs/op). The faults variant runs the same flood
+// under a drop+delay plan: injection stays allocation-free per round too,
+// only the per-Run injector setup (delay rings) adds a constant.
 func BenchmarkCongestRunCore(b *testing.B) {
 	const n = 64
 	g := graph.New(n)
@@ -524,8 +527,20 @@ func BenchmarkCongestRunCore(b *testing.B) {
 		}
 	}
 	var err error
-	for _, rounds := range []int{64, 1024} {
-		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+	for _, bc := range []struct {
+		rounds int
+		plan   *faults.Plan
+	}{
+		{64, nil},
+		{1024, nil},
+		{1024, &faults.Plan{Seed: 5, DropProb: 0.02, MaxDelay: 2}},
+	} {
+		name := fmt.Sprintf("rounds=%d", bc.rounds)
+		if bc.plan != nil {
+			name += ",faults"
+		}
+		rounds, plan := bc.rounds, bc.plan
+		b.Run(name, func(b *testing.B) {
 			factory := func(local congest.Local) congest.Node {
 				out := make([]congest.Message, len(local.Neighbors))
 				for i, nbr := range local.Neighbors {
@@ -537,7 +552,7 @@ func BenchmarkCongestRunCore(b *testing.B) {
 			b.ResetTimer()
 			var res *congest.Result
 			for i := 0; i < b.N; i++ {
-				res, err = congest.Run(g, factory, congest.Options{MaxRounds: rounds + 2})
+				res, err = congest.Run(g, factory, congest.Options{MaxRounds: rounds + 2, Faults: plan})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -567,7 +582,8 @@ func (c *diChatterNode) Output() interface{} { return nil }
 // all-to-links flood on a 64-vertex out-degree-4 directed circulant (each
 // vertex has 8 full-duplex links, 512 messages per round network-wide).
 // allocs/op is flat across the rounds sub-benchmarks — the per-round
-// simulation is allocation-free, like the undirected core.
+// simulation is allocation-free, like the undirected core, with or
+// without a fault plan.
 func BenchmarkDicongestRunCore(b *testing.B) {
 	const n = 64
 	d := graph.NewDigraph(n)
@@ -577,8 +593,20 @@ func BenchmarkDicongestRunCore(b *testing.B) {
 		}
 	}
 	var err error
-	for _, rounds := range []int{64, 1024} {
-		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+	for _, bc := range []struct {
+		rounds int
+		plan   *faults.Plan
+	}{
+		{64, nil},
+		{1024, nil},
+		{1024, &faults.Plan{Seed: 5, DropProb: 0.02, MaxDelay: 2}},
+	} {
+		name := fmt.Sprintf("rounds=%d", bc.rounds)
+		if bc.plan != nil {
+			name += ",faults"
+		}
+		rounds, plan := bc.rounds, bc.plan
+		b.Run(name, func(b *testing.B) {
 			factory := func(local dicongest.Local) dicongest.Node {
 				out := make([]dicongest.Message, len(local.Neighbors))
 				for i, nbr := range local.Neighbors {
@@ -590,7 +618,7 @@ func BenchmarkDicongestRunCore(b *testing.B) {
 			b.ResetTimer()
 			var res *dicongest.Result
 			for i := 0; i < b.N; i++ {
-				res, err = dicongest.Run(d, factory, dicongest.Options{MaxRounds: rounds + 2})
+				res, err = dicongest.Run(d, factory, dicongest.Options{MaxRounds: rounds + 2, Faults: plan})
 				if err != nil {
 					b.Fatal(err)
 				}

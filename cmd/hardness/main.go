@@ -19,15 +19,24 @@
 //	hardness -certify maxcut -alg sampled -pairs 16 -seed 7
 //	hardness -certify hamlb -alg collect        # directed (dicongest) pairing
 //	hardness -certify dir-steiner -alg collect -pairs 8
+//
+// Certification runs accept a deterministic fault plan (-faults, see the
+// faults package for the format) and a wall-clock deadline (-timeout); an
+// interrupted sweep prints the partial report of the pairs certified so
+// far. The retransmitting collect stays exact under bounded drop rates:
+//
+//	hardness -certify mds -alg collect-retry -faults drop=0.01,seed=7 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"congesthard/internal/aggregate"
 	"congesthard/internal/algorithms"
@@ -41,6 +50,7 @@ import (
 	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
@@ -58,12 +68,14 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (E1..E18, see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
 	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', 'hamlb', 'dir-steiner', or 'list')")
-	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|greedy; mvc: matching; maxcut: sampled|exact; hamlb: collect|greedy-path; dir-steiner: collect)")
+	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|collect-retry|greedy; mvc: matching; maxcut: sampled|exact; hamlb: collect|greedy-path; dir-steiner: collect)")
 	pairs := flag.Int("pairs", 0, "sampled (x,y) pairs for -certify; 0 = exhaustive over all 2^(2K) pairs (K <= 6)")
+	faultSpec := flag.String("faults", "", "fault plan for -certify, e.g. 'drop=0.01,seed=7' or 'delay=2,crash=3@0,fail=1-2@5' (seed defaults to -seed)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for -certify; an interrupted sweep prints the partial report (0 = none)")
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
 	if *certify != "" {
-		if err := runCertify(*certify, *alg, *pairs); err != nil {
+		if err := runCertify(*certify, *alg, *pairs, *faultSpec, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -79,7 +91,7 @@ func main() {
 // certification config — undirected pairings go through reduction.Certify,
 // directed ones through reduction.CertifyDigraph; the report shape is
 // shared.
-type certifyRunner func(cfg reduction.Config) (*reduction.Report, error)
+type certifyRunner func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error)
 
 // undirectedPairing adapts a Family + Algorithm builder to a certifyRunner.
 func undirectedPairing(build func() (lbfamily.Family, reduction.Algorithm, error)) func() (certifyRunner, error) {
@@ -88,8 +100,8 @@ func undirectedPairing(build func() (lbfamily.Family, reduction.Algorithm, error
 		if err != nil {
 			return nil, err
 		}
-		return func(cfg reduction.Config) (*reduction.Report, error) {
-			return reduction.Certify(fam, alg, cfg)
+		return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
+			return reduction.CertifyCtx(ctx, fam, alg, cfg)
 		}, nil
 	}
 }
@@ -101,8 +113,8 @@ func directedPairing(build func() (lbfamily.DigraphFamily, reduction.DigraphAlgo
 		if err != nil {
 			return nil, err
 		}
-		return func(cfg reduction.Config) (*reduction.Report, error) {
-			return reduction.CertifyDigraph(fam, alg, cfg)
+		return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
+			return reduction.CertifyDigraphCtx(ctx, fam, alg, cfg)
 		}, nil
 	}
 }
@@ -126,6 +138,29 @@ func certifyPairings() (map[string]map[string]func() (certifyRunner, error), []s
 				}
 				return fam, reduction.GreedyMDS(fam), nil
 			}),
+			// collect-retry needs a wider bandwidth (three ARQ header bits
+			// per frame) and a larger round guard than the defaults, so it
+			// sizes the config from the family stats before certifying.
+			"collect-retry": func() (certifyRunner, error) {
+				fam, err := mdslb.New(2)
+				if err != nil {
+					return nil, err
+				}
+				stats, err := lbfamily.MeasureStats(fam)
+				if err != nil {
+					return nil, err
+				}
+				alg := reduction.CollectRetryMDS(fam)
+				return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
+					if cfg.Bandwidth == 0 {
+						cfg.Bandwidth = algorithms.CollectRetryMinBandwidth(stats.N)
+					}
+					if cfg.MaxRounds == 0 {
+						cfg.MaxRounds = algorithms.CollectRetryRoundsCap(stats.N)
+					}
+					return reduction.CertifyCtx(ctx, fam, alg, cfg)
+				}, nil
+			},
 		},
 		"mvc": {
 			"matching": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
@@ -194,7 +229,7 @@ func certifyPairings() (map[string]map[string]func() (certifyRunner, error), []s
 	return pairings, index
 }
 
-func runCertify(famName, algName string, pairs int) error {
+func runCertify(famName, algName string, pairs int, faultSpec string, timeout time.Duration) error {
 	pairings, index := certifyPairings()
 	if famName == "list" {
 		for _, p := range index {
@@ -214,16 +249,39 @@ func runCertify(famName, algName string, pairs int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("seed=%d\n", seed)
-	rep, err := run(reduction.Config{
+	cfg := reduction.Config{
 		Pairs:            pairs,
 		Seed:             seed,
 		TranscriptChecks: 1,
-	})
+	}
+	if faultSpec != "" {
+		plan, err := faults.Parse(faultSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		if plan.Seed == 0 {
+			plan.Seed = seed
+		}
+		cfg.Faults = plan
+		fmt.Printf("faults=%s\n", plan)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	fmt.Printf("seed=%d\n", seed)
+	rep, err := run(ctx, cfg)
+	if rep != nil {
+		printCertifyReport(rep)
+	}
 	if err != nil {
+		if rep != nil {
+			fmt.Printf("  interrupted: %d of %d pairs certified (%v)\n", rep.Completed, rep.Total, err)
+		}
 		return err
 	}
-	printCertifyReport(rep)
 	return nil
 }
 

@@ -79,17 +79,31 @@ func CollectFactory(g *graph.Graph, bandwidth int, spec CollectSpec) (congest.Fa
 	if int64(n)*int64(n)-1 > maxPayload {
 		return nil, 0, fmt.Errorf("bandwidth %d cannot carry edge ids of an n=%d graph", bandwidth, n)
 	}
-	// Frame layout from the kept edge set: T records, and weight chunks
-	// only when some kept weight differs from 1.
-	records := 0
+	records, wchunks, err := frameLayout(g, spec.Keep, bandwidth)
+	if err != nil {
+		return nil, 0, err
+	}
+	frame := 1 + wchunks
+	budget := frame*(records+n+2) + 4
+	factory := func(local congest.Local) congest.Node {
+		return newCollectNode(local, n, bandwidth, budget, wchunks, spec)
+	}
+	return factory, budget, nil
+}
+
+// frameLayout scans the kept edge set and derives the frame shape: the
+// record count T, and the number of chunkBits-wide weight chunks (zero
+// when every kept weight is exactly 1). Shared by CollectFactory and
+// CollectRetryFactory, whose chunks are bandwidth minus the retry header.
+func frameLayout(g *graph.Graph, keep func(u, v int, w int64) bool, chunkBits int) (records, wchunks int, err error) {
 	var maxW int64
 	weighted := false
 	for _, e := range g.Edges() {
-		if spec.Keep != nil && !spec.Keep(e.U, e.V, e.Weight) {
+		if keep != nil && !keep(e.U, e.V, e.Weight) {
 			continue
 		}
 		if e.Weight < 0 {
-			return nil, 0, fmt.Errorf("collect cannot encode negative weight %d on edge {%d,%d}", e.Weight, e.U, e.V)
+			return 0, 0, fmt.Errorf("collect cannot encode negative weight %d on edge {%d,%d}", e.Weight, e.U, e.V)
 		}
 		records++
 		if e.Weight != 1 {
@@ -99,19 +113,13 @@ func CollectFactory(g *graph.Graph, bandwidth int, spec CollectSpec) (congest.Fa
 			maxW = e.Weight
 		}
 	}
-	wchunks := 0
 	if weighted {
-		wchunks = (bits.Len64(uint64(maxW)) + bandwidth - 1) / bandwidth
+		wchunks = (bits.Len64(uint64(maxW)) + chunkBits - 1) / chunkBits
 		if wchunks == 0 {
 			wchunks = 1
 		}
 	}
-	frame := 1 + wchunks
-	budget := frame*(records+n+2) + 4
-	factory := func(local congest.Local) congest.Node {
-		return newCollectNode(local, n, bandwidth, budget, wchunks, spec)
-	}
-	return factory, budget, nil
+	return records, wchunks, nil
 }
 
 // CollectTotal sums the root values of a finished run: the single root's
@@ -145,17 +153,25 @@ type collectRecord struct {
 	w    int64
 }
 
-type collectNode struct {
+// collectCore is the record store and root-evaluation logic shared by the
+// gossip collect program and its retransmitting variant: which edges this
+// vertex knows, deduplication, and the end-of-budget reconstruct-and-solve.
+type collectCore struct {
 	local   congest.Local
 	n       int
+	spec    CollectSpec
+	records []collectRecord
+	known   map[int64]bool
+	out     collectOutput
+}
+
+type collectNode struct {
+	collectCore
 	bw      int
 	budget  int
 	wchunks int
-	spec    CollectSpec
 
-	nbrIdx  map[int]int
-	records []collectRecord
-	known   map[int64]bool
+	nbrIdx map[int]int
 
 	// Per-neighbor send cursor: which record, and which chunk of its frame.
 	sendRec   []int
@@ -167,28 +183,38 @@ type collectNode struct {
 	rcvChunk []int
 
 	outbox []congest.Message
-	out    collectOutput
 }
 
 func newCollectNode(local congest.Local, n, bw, budget, wchunks int, spec CollectSpec) *collectNode {
 	c := &collectNode{
-		local:     local,
-		n:         n,
-		bw:        bw,
-		budget:    budget,
-		wchunks:   wchunks,
-		spec:      spec,
-		nbrIdx:    make(map[int]int, len(local.Neighbors)),
-		known:     make(map[int64]bool),
-		sendRec:   make([]int, len(local.Neighbors)),
-		sendChunk: make([]int, len(local.Neighbors)),
-		rcvKey:    make([]int64, len(local.Neighbors)),
-		rcvW:      make([]int64, len(local.Neighbors)),
-		rcvChunk:  make([]int, len(local.Neighbors)),
-		outbox:    make([]congest.Message, 0, len(local.Neighbors)),
+		collectCore: newCollectCore(local, n, spec),
+		bw:          bw,
+		budget:      budget,
+		wchunks:     wchunks,
+		nbrIdx:      make(map[int]int, len(local.Neighbors)),
+		sendRec:     make([]int, len(local.Neighbors)),
+		sendChunk:   make([]int, len(local.Neighbors)),
+		rcvKey:      make([]int64, len(local.Neighbors)),
+		rcvW:        make([]int64, len(local.Neighbors)),
+		rcvChunk:    make([]int, len(local.Neighbors)),
+		outbox:      make([]congest.Message, 0, len(local.Neighbors)),
 	}
 	for i, nbr := range local.Neighbors {
 		c.nbrIdx[nbr] = i
+	}
+	return c
+}
+
+// newCollectCore seeds the record store with the vertex's incident kept
+// edges (canonical u < v orientation).
+func newCollectCore(local congest.Local, n int, spec CollectSpec) collectCore {
+	c := collectCore{
+		local: local,
+		n:     n,
+		spec:  spec,
+		known: make(map[int64]bool),
+	}
+	for i, nbr := range local.Neighbors {
 		u, v, w := local.ID, nbr, local.EdgeWeights[i]
 		if u > v {
 			u, v = v, u
@@ -200,9 +226,9 @@ func newCollectNode(local congest.Local, n, bw, budget, wchunks int, spec Collec
 	return c
 }
 
-func (c *collectNode) key(u, v int) int64 { return int64(u)*int64(c.n) + int64(v) }
+func (c *collectCore) key(u, v int) int64 { return int64(u)*int64(c.n) + int64(v) }
 
-func (c *collectNode) learn(u, v int, w int64) {
+func (c *collectCore) learn(u, v int, w int64) {
 	k := c.key(u, v)
 	if !c.known[k] {
 		c.known[k] = true
@@ -269,7 +295,7 @@ func (c *collectNode) Round(round int, inbox []congest.Incoming) ([]congest.Mess
 // collection the vertex checks whether it is the minimum id of its
 // component (fully known from the collected records) and evaluates the
 // induced component subgraph.
-func (c *collectNode) finish() {
+func (c *collectCore) finish() {
 	collected := graph.New(c.n)
 	for _, rec := range c.records {
 		if err := collected.AddWeightedEdge(rec.u, rec.v, rec.w); err != nil {
@@ -299,4 +325,4 @@ func (c *collectNode) finish() {
 }
 
 // Output returns the root's collectOutput (zero value elsewhere).
-func (c *collectNode) Output() interface{} { return c.out }
+func (c *collectCore) Output() interface{} { return c.out }

@@ -1,0 +1,224 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/bits"
+
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+)
+
+// This file implements collect-retry, a retransmitting variant of the
+// gossip collect program that stays exact over lossy links: every
+// per-neighbor chunk stream runs an alternating-bit protocol (stop-and-
+// wait ARQ). Each frame spends three header bits —
+//
+//	payload = chunk<<3 | hasData<<2 | seq<<1 | ack
+//
+// — so the data chunk narrows to bandwidth-3 bits. The sender retransmits
+// its current chunk every round until the piggybacked ack echoes the
+// chunk's sequence bit, then flips the bit and advances; the receiver
+// accepts a data chunk only when its sequence bit matches the expected
+// one, so duplicates created by retransmission (or by bounded delivery
+// delay) are discarded. Acks ride on every frame — a node with nothing
+// left to send still emits pure-ack frames — which is what lets the
+// protocol survive per-link message drops: over a FIFO link that delivers
+// infinitely often, the alternating-bit protocol transfers the stream
+// exactly. The round budget is RetryBudgetFactor times the fault-free
+// collect budget, covering the protocol's inherent round trip per chunk
+// plus retransmissions at bounded drop rates; the collection, root
+// election and evaluation logic is collectCore, shared with collect.
+
+const (
+	// retryHeaderBits is the per-frame header: hasData, seq, ack.
+	retryHeaderBits = 3
+	// RetryBudgetFactor scales the fault-free collect budget: a chunk
+	// costs a round trip (2 rounds) even on a clean link, and the
+	// remaining slack absorbs retransmissions under bounded drop rates
+	// and bounded delivery delay.
+	RetryBudgetFactor = 8
+)
+
+// CollectRetryMinBandwidth returns the smallest bandwidth collect-retry
+// can run with on an n-vertex graph: the edge id u*n+v must fit beside
+// the three header bits, and the result is never below the CONGEST
+// default 2*ceil(log2(n+1)).
+func CollectRetryMinBandwidth(n int) int {
+	need := retryHeaderBits
+	if n > 0 {
+		need += bits.Len64(uint64(n)*uint64(n) - 1)
+	}
+	if b := congest.DefaultBandwidth(n); b > need {
+		need = b
+	}
+	return need
+}
+
+// CollectRetryRoundsCap bounds the round budget CollectRetryFactory can
+// bake into a program on any n-vertex unweighted graph (every record is
+// a single one-chunk frame), plus the final evaluation round: at most
+// n(n-1)/2 records yield a budget of RetryBudgetFactor*(records+n+6).
+// Use it for a MaxRounds override when certifying collect-retry — the
+// budget can exceed the simulators' default guard on small graphs.
+func CollectRetryRoundsCap(n int) int {
+	return RetryBudgetFactor*(n*(n-1)/2+n+6) + 2
+}
+
+// CollectRetryFactory builds the retransmitting gossip program for g and
+// returns the node factory together with the round budget baked into it.
+// bandwidth must be the BandwidthBits the simulation will run with
+// (0 selects CollectRetryMinBandwidth); it must leave room for the edge
+// id beside the three header bits.
+func CollectRetryFactory(g *graph.Graph, bandwidth int, spec CollectSpec) (congest.Factory, int, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("collect-retry requires a non-empty graph")
+	}
+	if spec.Keep != nil && !g.IsConnected() {
+		return nil, 0, fmt.Errorf("filtered collect-retry requires a connected graph")
+	}
+	if bandwidth == 0 {
+		bandwidth = CollectRetryMinBandwidth(n)
+	}
+	cw := bandwidth - retryHeaderBits
+	if cw < 1 || (cw < 63 && int64(n)*int64(n)-1 > int64(1)<<uint(cw)-1) {
+		return nil, 0, fmt.Errorf("bandwidth %d cannot carry edge ids of an n=%d graph beside the %d retry header bits (need >= %d)",
+			bandwidth, n, retryHeaderBits, CollectRetryMinBandwidth(n))
+	}
+	records, wchunks, err := frameLayout(g, spec.Keep, cw)
+	if err != nil {
+		return nil, 0, err
+	}
+	frame := 1 + wchunks
+	budget := RetryBudgetFactor * (frame*(records+n+2) + 4)
+	factory := func(local congest.Local) congest.Node {
+		return newCollectRetryNode(local, n, cw, budget, wchunks, spec)
+	}
+	return factory, budget, nil
+}
+
+type collectRetryNode struct {
+	collectCore
+	cw      int // data bits per chunk (bandwidth minus header)
+	budget  int
+	wchunks int
+
+	nbrIdx map[int]int
+	// Sender state per neighbor: stream cursor plus the alternating bit
+	// of the chunk in flight.
+	sendRec   []int
+	sendChunk []int
+	curSeq    []byte
+	// Receiver state per neighbor: the sequence bit expected next, the
+	// last one accepted (echoed as the ack on every outgoing frame), and
+	// the frame reassembly registers.
+	expSeq   []byte
+	lastAcc  []byte
+	rcvKey   []int64
+	rcvW     []int64
+	rcvChunk []int
+
+	outbox []congest.Message
+}
+
+func newCollectRetryNode(local congest.Local, n, cw, budget, wchunks int, spec CollectSpec) *collectRetryNode {
+	deg := len(local.Neighbors)
+	c := &collectRetryNode{
+		collectCore: newCollectCore(local, n, spec),
+		cw:          cw,
+		budget:      budget,
+		wchunks:     wchunks,
+		nbrIdx:      make(map[int]int, deg),
+		sendRec:     make([]int, deg),
+		sendChunk:   make([]int, deg),
+		curSeq:      make([]byte, deg),
+		expSeq:      make([]byte, deg),
+		lastAcc:     make([]byte, deg),
+		rcvKey:      make([]int64, deg),
+		rcvW:        make([]int64, deg),
+		rcvChunk:    make([]int, deg),
+		outbox:      make([]congest.Message, 0, deg),
+	}
+	for i, nbr := range local.Neighbors {
+		c.nbrIdx[nbr] = i
+		// lastAcc starts opposite the first data sequence bit, so the ack
+		// on a frame sent before anything was accepted cannot advance the
+		// neighbor's stream.
+		c.lastAcc[i] = 1
+	}
+	return c
+}
+
+// Round ingests frames (acks advance our streams, fresh data chunks feed
+// reassembly), then emits one frame per neighbor — the current chunk,
+// retransmitted until acknowledged, or a pure-ack frame when the stream
+// is drained. At the budget the roots reconstruct and evaluate.
+func (c *collectRetryNode) Round(round int, inbox []congest.Incoming) ([]congest.Message, bool) {
+	for _, msg := range inbox {
+		i, ok := c.nbrIdx[msg.From]
+		if !ok {
+			continue
+		}
+		ack := byte(msg.Payload & 1)
+		seq := byte(msg.Payload >> 1 & 1)
+		hasData := msg.Payload>>2&1 == 1
+		chunk := msg.Payload >> retryHeaderBits
+
+		// The piggybacked ack echoes the last sequence bit the neighbor
+		// accepted from us; a match with the in-flight chunk's bit means
+		// delivery, so flip the bit and advance the cursor. Stale acks
+		// (from retransmitted or delayed frames) carry the old bit and
+		// cannot advance the stream twice.
+		if c.sendRec[i] < len(c.records) && ack == c.curSeq[i] {
+			c.curSeq[i] ^= 1
+			c.sendChunk[i]++
+			if c.sendChunk[i] > c.wchunks {
+				c.sendChunk[i] = 0
+				c.sendRec[i]++
+			}
+		}
+
+		if !hasData || seq != c.expSeq[i] {
+			continue // pure ack, or a duplicate of an accepted chunk
+		}
+		c.lastAcc[i] = seq
+		c.expSeq[i] ^= 1
+		if c.rcvChunk[i] == 0 {
+			if c.wchunks == 0 {
+				c.learn(int(chunk)/c.n, int(chunk)%c.n, 1)
+			} else {
+				c.rcvKey[i] = chunk
+				c.rcvW[i] = 0
+				c.rcvChunk[i] = 1
+			}
+			continue
+		}
+		c.rcvW[i] |= chunk << uint(c.cw*(c.rcvChunk[i]-1))
+		c.rcvChunk[i]++
+		if c.rcvChunk[i] > c.wchunks {
+			c.learn(int(c.rcvKey[i])/c.n, int(c.rcvKey[i])%c.n, c.rcvW[i])
+			c.rcvChunk[i] = 0
+		}
+	}
+	if round >= c.budget {
+		c.finish()
+		return nil, true
+	}
+	mask := int64(1)<<uint(c.cw) - 1
+	c.outbox = c.outbox[:0]
+	for i, nbr := range c.local.Neighbors {
+		payload := int64(c.lastAcc[i])
+		if c.sendRec[i] < len(c.records) {
+			rec := c.records[c.sendRec[i]]
+			var chunk int64
+			if c.sendChunk[i] == 0 {
+				chunk = c.key(rec.u, rec.v)
+			} else {
+				chunk = rec.w >> uint(c.cw*(c.sendChunk[i]-1)) & mask
+			}
+			payload |= chunk<<retryHeaderBits | 1<<2 | int64(c.curSeq[i])<<1
+		}
+		c.outbox = append(c.outbox, congest.Message{To: nbr, Payload: payload})
+	}
+	return c.outbox, false
+}

@@ -20,6 +20,7 @@ package congest
 import (
 	"fmt"
 
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 )
 
@@ -81,6 +82,15 @@ type Options struct {
 	// or wrongly-sized bipartition with a descriptive error instead of
 	// silently skipping the classification.
 	Meter Meter
+	// Faults, if non-nil, opts the run into deterministic fault injection:
+	// seeded per-link drops, bounded FIFO delivery delay, crash-stop nodes
+	// and permanent link failures (see internal/faults). Faults act after
+	// send validation and metering — a dropped or delayed message still
+	// costs its sender bandwidth and is still observed by Meter; the
+	// network simply loses or holds it. The same graph + plan replays
+	// bit-identically, and with Faults == nil the round loop is untouched
+	// (still allocation-free, like the Meter hook).
+	Faults *faults.Plan
 }
 
 // Metrics are the measured costs of a simulation.
@@ -239,20 +249,64 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 		}
 	}
 
+	// Fault injection (opt-in, mirroring the Meter hook): the plan is
+	// compiled into a per-run injector during setup, and delivery runs
+	// through a per-slot ring of RingDepth cells instead of the two-buffer
+	// flip, so bounded delays land in future rounds. The fault-free path
+	// below is untouched.
+	var inj *faults.Injector
+	var crashAt []int32
+	var crashed []bool
+	var ringPayload []int64
+	var ringStamp []int32
+	ringD := 0
+	if opts.Faults != nil {
+		var err error
+		inj, err = faults.NewInjector(opts.Faults, n, slots)
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		for v := 0; v < n; v++ {
+			nbrs, _ := csr.Window(v)
+			base := csr.Offset(v)
+			for i, to := range nbrs {
+				inj.BindSlot(int32(base+i), v, int(to))
+			}
+		}
+		crashAt = make([]int32, n)
+		for v := range crashAt {
+			crashAt[v] = inj.CrashRound(v)
+		}
+		crashed = make([]bool, n)
+		ringD = inj.RingDepth()
+		ringPayload = make([]int64, slots*ringD)
+		ringStamp = make([]int32, slots*ringD)
+		for i := range ringStamp {
+			ringStamp[i] = -1
+		}
+	}
+
 	// Double-buffered flat inboxes: slot s of the current buffer holds the
 	// payload sent over the corresponding directed edge, stamped with the
 	// round it is to be delivered in (stale slots are simply never read —
 	// no per-round clearing). arena holds the compacted inbox slices handed
 	// to Round, one CSR window per vertex, delivered in neighbor-rank
-	// (ascending sender id) order by construction.
-	curPayload := make([]int64, slots)
-	nextPayload := make([]int64, slots)
-	curStamp := make([]int32, slots)
-	nextStamp := make([]int32, slots)
+	// (ascending sender id) order by construction. With faults on, the
+	// ring arrays above replace the double buffer.
+	var curPayload, nextPayload []int64
+	var curStamp, nextStamp []int32
+	if inj == nil {
+		curPayload = make([]int64, slots)
+		nextPayload = make([]int64, slots)
+		curStamp = make([]int32, slots)
+		nextStamp = make([]int32, slots)
+		for i := 0; i < slots; i++ {
+			curStamp[i] = -1
+			nextStamp[i] = -1
+		}
+	}
 	lastSent := make([]int32, slots)
 	for i := 0; i < slots; i++ {
-		curStamp[i] = -1
-		nextStamp[i] = -1
 		lastSent[i] = -1
 	}
 	arena := make([]Incoming, slots)
@@ -263,20 +317,38 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
-			return nil, fmt.Errorf("simulation exceeded %d rounds", maxRounds)
+			return nil, RoundsExceededError(maxRounds, done)
 		}
 		allDone := true
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
 			}
+			if inj != nil && int32(round) >= crashAt[v] {
+				// Crash-stop: the node executes rounds 0..crash-1 only;
+				// messages already addressed to it are lost like messages
+				// to any terminated node, and it produces no output.
+				done[v] = true
+				crashed[v] = true
+				continue
+			}
 			base, end := csr.Offset(v), csr.Offset(v+1)
 			nbrs, _ := csr.Window(v)
 			cnt := 0
-			for i := base; i < end; i++ {
-				if curStamp[i] == int32(round) {
-					arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: curPayload[i]}
-					cnt++
+			if inj == nil {
+				for i := base; i < end; i++ {
+					if curStamp[i] == int32(round) {
+						arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: curPayload[i]}
+						cnt++
+					}
+				}
+			} else {
+				ri := round % ringD
+				for i := base; i < end; i++ {
+					if ringStamp[i*ringD+ri] == int32(round) {
+						arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: ringPayload[i*ringD+ri]}
+						cnt++
+					}
 				}
 			}
 			outbox, finished := nodes[v].Round(round, arena[base:base+cnt])
@@ -297,8 +369,14 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 				if msg.Payload < 0 || msg.Payload > maxPayload {
 					return nil, fmt.Errorf("round %d: node %d payload %d exceeds %d-bit bandwidth", round, v, msg.Payload, bandwidth)
 				}
-				nextPayload[recvAt[s]] = msg.Payload
-				nextStamp[recvAt[s]] = int32(round + 1)
+				if inj == nil {
+					nextPayload[recvAt[s]] = msg.Payload
+					nextStamp[recvAt[s]] = int32(round + 1)
+				} else if at, ok := inj.DeliverAt(round, v, msg.To, s); ok {
+					cell := int(recvAt[s])*ringD + at%ringD
+					ringPayload[cell] = msg.Payload
+					ringStamp[cell] = int32(at)
+				}
 				metrics.Messages++
 				if slotDir != nil {
 					dir := slotDir[s]
@@ -314,20 +392,49 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 		}
 		metrics.Rounds = round + 1
 		if allDone {
-			// Messages sent in the final round would be delivered to
-			// already-terminated nodes; they are dropped (but metered, and
-			// the round still counts).
+			// Messages sent in the final round (or still delayed in the
+			// ring) would be delivered to already-terminated nodes; they
+			// are dropped (but metered, and the round still counts).
 			break
 		}
-		curPayload, nextPayload = nextPayload, curPayload
-		curStamp, nextStamp = nextStamp, curStamp
+		if inj == nil {
+			curPayload, nextPayload = nextPayload, curPayload
+			curStamp, nextStamp = nextStamp, curStamp
+		}
 	}
 
 	outputs := make([]interface{}, n)
 	for v := range nodes {
+		if crashed != nil && crashed[v] {
+			continue // a crashed node produces no output
+		}
 		outputs[v] = nodes[v].Output()
 	}
 	return &Result{Metrics: metrics, Outputs: outputs}, nil
+}
+
+// RoundsExceededError builds the MaxRounds-exhausted error from the
+// done markers, naming how many nodes are still running and the first few
+// of their ids, so runaway programs are diagnosable instead of just "too
+// many rounds". Shared by both simulators (package dicongest reuses it).
+func RoundsExceededError(limit int, done []bool) error {
+	live := 0
+	var first []int
+	for v, d := range done {
+		if d {
+			continue
+		}
+		live++
+		if len(first) < 4 {
+			first = append(first, v)
+		}
+	}
+	suffix := ""
+	if live > len(first) {
+		suffix = ", ..."
+	}
+	return fmt.Errorf("simulation exceeded %d rounds with %d of %d nodes still running (nodes %v%s)",
+		limit, live, len(done), first, suffix)
 }
 
 // FuncNode adapts a pair of closures to the Node interface, for small

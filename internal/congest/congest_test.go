@@ -1,8 +1,10 @@
 package congest
 
 import (
+	"strings"
 	"testing"
 
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 )
 
@@ -165,6 +167,28 @@ func TestMaxRoundsGuard(t *testing.T) {
 	}
 	if _, err := Run(g, factory, Options{MaxRounds: 10}); err == nil {
 		t.Error("non-terminating program not aborted")
+	}
+}
+
+func TestMaxRoundsErrorNamesLiveNodes(t *testing.T) {
+	// Regression: the MaxRounds-exhausted error must name the still-running
+	// node ids and the round count, so runaway programs are diagnosable.
+	g := graph.Path(4)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				return nil, local.ID == 0 // only node 0 ever terminates
+			},
+		}
+	}
+	_, err := Run(g, factory, Options{MaxRounds: 7})
+	if err == nil {
+		t.Fatal("non-terminating program not aborted")
+	}
+	for _, want := range []string{"7 rounds", "3 of 4 nodes", "[1 2 3]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -337,6 +361,23 @@ func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
 	longM := testing.AllocsPerRun(5, meteredWith(1010))
 	if longM > shortM {
 		t.Errorf("metered per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortM, longM)
+	}
+
+	// Faults-on must be O(1) allocs per round too: the injector and its
+	// delivery ring are allocated at setup, and every per-message decision
+	// is pure arithmetic.
+	plan := &faults.Plan{Seed: 3, DropProb: 0.05, MaxDelay: 2}
+	faultyWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(g, newChatter(rounds), Options{Faults: plan}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shortF := testing.AllocsPerRun(5, faultyWith(10))
+	longF := testing.AllocsPerRun(5, faultyWith(1010))
+	if longF > shortF {
+		t.Errorf("faults-on per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortF, longF)
 	}
 }
 
@@ -591,5 +632,107 @@ func TestEmptyGraph(t *testing.T) {
 	}
 	if res.Rounds != 0 {
 		t.Errorf("empty graph ran %d rounds", res.Rounds)
+	}
+}
+
+// --- Fault injection behavior -----------------------------------------------
+
+func TestFaultsSeededReplayDeterministic(t *testing.T) {
+	g := graph.New(16)
+	for v := 0; v < 16; v++ {
+		for _, step := range []int{1, 2, 5} {
+			g.MustAddEdge(v, (v+step)%16)
+		}
+	}
+	plan := &faults.Plan{Seed: 21, DropProb: 0.2, MaxDelay: 3}
+	run := func() *Result {
+		res, err := Run(g, newFloodMin(40), Options{Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds {
+		t.Fatalf("replay diverged in rounds: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] {
+			t.Errorf("vertex %d: replay diverged: %v vs %v", v, a.Outputs[v], b.Outputs[v])
+		}
+	}
+	if a.Messages != b.Messages {
+		t.Errorf("replay diverged in metrics: %d vs %d messages",
+			a.Messages, b.Messages)
+	}
+}
+
+func TestFaultsCrashStopSilencesNode(t *testing.T) {
+	// On a path 0-1-2-3, crashing node 1 at round 0 disconnects node 0 from
+	// the rest: nodes 2 and 3 can never learn the minimum id 0.
+	g := graph.Path(4)
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Round: 0}}}
+	res, err := Run(g, newFloodMin(10), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil {
+		t.Errorf("crashed node produced output %v", res.Outputs[1])
+	}
+	for _, v := range []int{2, 3} {
+		if got := res.Outputs[v].(int64); got != 2 {
+			t.Errorf("vertex %d learned %d; crash of node 1 should cut it off from 0", v, got)
+		}
+	}
+	if res.Outputs[0].(int64) != 0 {
+		t.Errorf("vertex 0 forgot its own id: %v", res.Outputs[0])
+	}
+}
+
+func TestFaultsLinkFailureBlocksPropagation(t *testing.T) {
+	// Failing the middle edge of a path from round 0 splits the flood.
+	g := graph.Path(4)
+	plan := &faults.Plan{LinkFailures: []faults.LinkFailure{{U: 1, V: 2, Round: 0}}}
+	res, err := Run(g, newFloodMin(10), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range map[int]int64{0: 0, 1: 0, 2: 2, 3: 2} {
+		if got := res.Outputs[v].(int64); got != want {
+			t.Errorf("vertex %d learned %d, want %d after 1-2 link failure", v, got, want)
+		}
+	}
+}
+
+func TestFaultsDelayOnlyStillConverges(t *testing.T) {
+	// Bounded delay without drops only stretches convergence: with a budget
+	// of (MaxDelay+1) * diameter rounds every node still learns the minimum.
+	g := graph.Path(6)
+	plan := &faults.Plan{Seed: 4, MaxDelay: 2}
+	res, err := Run(g, newFloodMin(3*5+5), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, out := range res.Outputs {
+		if out.(int64) != 0 {
+			t.Errorf("vertex %d learned %v under delay-only faults, want 0", v, out)
+		}
+	}
+}
+
+func TestFaultsDropBudgetStarvesFirstMessages(t *testing.T) {
+	// A large per-link adversarial budget silences a short flood entirely.
+	g := graph.Path(2)
+	plan := &faults.Plan{DropBudget: 100}
+	res, err := Run(g, newFloodMin(5), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1].(int64) != 1 {
+		t.Errorf("vertex 1 learned %v despite every message being dropped", res.Outputs[1])
+	}
+	// Dropped messages are still metered: the sender paid for them.
+	if res.Messages == 0 {
+		t.Error("dropped messages were not counted in metrics")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"congesthard/internal/congest"
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 )
 
@@ -88,6 +89,13 @@ type Options struct {
 	// either. It requires CutSide; Run rejects a nil or wrongly-sized
 	// bipartition with a descriptive error.
 	Meter congest.Meter
+	// Faults, if non-nil, opts the run into deterministic fault injection
+	// (see internal/faults), exactly as in congest.Options: faults act
+	// after send validation and metering, link failures apply to the
+	// unordered vertex pair (antiparallel arcs share one link and fail
+	// together), and the same digraph + plan replays bit-identically.
+	// With Faults == nil the round loop is untouched.
+	Faults *faults.Plan
 }
 
 // Metrics are the measured costs of a simulation.
@@ -318,18 +326,60 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 		}
 	}
 
+	// Fault injection (opt-in, mirroring the Meter hook and congest.Run):
+	// the plan is compiled per run, and delivery goes through a per-slot
+	// ring of RingDepth cells so bounded delays land in future rounds.
+	// The fault-free path below is untouched.
+	var inj *faults.Injector
+	var crashAt []int32
+	var crashed []bool
+	var ringPayload []int64
+	var ringStamp []int32
+	ringD := 0
+	if opts.Faults != nil {
+		var err error
+		inj, err = faults.NewInjector(opts.Faults, n, slots)
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		for v := 0; v < n; v++ {
+			base := int(ch.offsets[v])
+			for i, to := range ch.window(v) {
+				inj.BindSlot(int32(base+i), v, int(to))
+			}
+		}
+		crashAt = make([]int32, n)
+		for v := range crashAt {
+			crashAt[v] = inj.CrashRound(v)
+		}
+		crashed = make([]bool, n)
+		ringD = inj.RingDepth()
+		ringPayload = make([]int64, slots*ringD)
+		ringStamp = make([]int32, slots*ringD)
+		for i := range ringStamp {
+			ringStamp[i] = -1
+		}
+	}
+
 	// Double-buffered flat inboxes with round stamps, exactly as in
 	// congest.Run: stale slots are never read, so no per-round clearing,
 	// and the arena's compacted windows are handed to Round in ascending
-	// sender-id order by construction.
-	curPayload := make([]int64, slots)
-	nextPayload := make([]int64, slots)
-	curStamp := make([]int32, slots)
-	nextStamp := make([]int32, slots)
+	// sender-id order by construction. With faults on, the ring arrays
+	// above replace the double buffer.
+	var curPayload, nextPayload []int64
+	var curStamp, nextStamp []int32
+	if inj == nil {
+		curPayload = make([]int64, slots)
+		nextPayload = make([]int64, slots)
+		curStamp = make([]int32, slots)
+		nextStamp = make([]int32, slots)
+		for i := 0; i < slots; i++ {
+			curStamp[i] = -1
+			nextStamp[i] = -1
+		}
+	}
 	lastSent := make([]int32, slots)
 	for i := 0; i < slots; i++ {
-		curStamp[i] = -1
-		nextStamp[i] = -1
 		lastSent[i] = -1
 	}
 	arena := make([]Incoming, slots)
@@ -340,20 +390,37 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
-			return nil, fmt.Errorf("simulation exceeded %d rounds", maxRounds)
+			return nil, congest.RoundsExceededError(maxRounds, done)
 		}
 		allDone := true
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
 			}
+			if inj != nil && int32(round) >= crashAt[v] {
+				// Crash-stop: the node executes rounds 0..crash-1 only
+				// and produces no output.
+				done[v] = true
+				crashed[v] = true
+				continue
+			}
 			base, end := int(ch.offsets[v]), int(ch.offsets[v+1])
 			window := ch.window(v)
 			cnt := 0
-			for i := base; i < end; i++ {
-				if curStamp[i] == int32(round) {
-					arena[base+cnt] = Incoming{From: int(window[i-base]), Payload: curPayload[i]}
-					cnt++
+			if inj == nil {
+				for i := base; i < end; i++ {
+					if curStamp[i] == int32(round) {
+						arena[base+cnt] = Incoming{From: int(window[i-base]), Payload: curPayload[i]}
+						cnt++
+					}
+				}
+			} else {
+				ri := round % ringD
+				for i := base; i < end; i++ {
+					if ringStamp[i*ringD+ri] == int32(round) {
+						arena[base+cnt] = Incoming{From: int(window[i-base]), Payload: ringPayload[i*ringD+ri]}
+						cnt++
+					}
 				}
 			}
 			outbox, finished := nodes[v].Round(round, arena[base:base+cnt])
@@ -374,8 +441,14 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 				if msg.Payload < 0 || msg.Payload > maxPayload {
 					return nil, fmt.Errorf("round %d: node %d payload %d exceeds %d-bit bandwidth", round, v, msg.Payload, bandwidth)
 				}
-				nextPayload[recvAt[s]] = msg.Payload
-				nextStamp[recvAt[s]] = int32(round + 1)
+				if inj == nil {
+					nextPayload[recvAt[s]] = msg.Payload
+					nextStamp[recvAt[s]] = int32(round + 1)
+				} else if at, ok := inj.DeliverAt(round, v, msg.To, s); ok {
+					cell := int(recvAt[s])*ringD + at%ringD
+					ringPayload[cell] = msg.Payload
+					ringStamp[cell] = int32(at)
+				}
 				metrics.Messages++
 				if slotDir != nil {
 					dir := slotDir[s]
@@ -391,17 +464,22 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 		}
 		metrics.Rounds = round + 1
 		if allDone {
-			// Messages sent in the final round would be delivered to
-			// already-terminated nodes; they are dropped (but metered, and
-			// the round still counts).
+			// Messages sent in the final round (or still delayed in the
+			// ring) would be delivered to already-terminated nodes; they
+			// are dropped (but metered, and the round still counts).
 			break
 		}
-		curPayload, nextPayload = nextPayload, curPayload
-		curStamp, nextStamp = nextStamp, curStamp
+		if inj == nil {
+			curPayload, nextPayload = nextPayload, curPayload
+			curStamp, nextStamp = nextStamp, curStamp
+		}
 	}
 
 	outputs := make([]interface{}, n)
 	for v := range nodes {
+		if crashed != nil && crashed[v] {
+			continue // a crashed node produces no output
+		}
 		outputs[v] = nodes[v].Output()
 	}
 	return &Result{Metrics: metrics, Outputs: outputs}, nil

@@ -1,9 +1,11 @@
 package dicongest
 
 import (
+	"strings"
 	"testing"
 
 	"congesthard/internal/congest"
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 )
 
@@ -493,6 +495,22 @@ func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
 	if longM > shortM {
 		t.Errorf("metered per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortM, longM)
 	}
+
+	// With faults enabled the injector and ring are built at setup time;
+	// the round loop itself must still not allocate.
+	plan := &faults.Plan{Seed: 3, DropProb: 0.05, MaxDelay: 2}
+	faultyWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(d, newChatter(rounds), Options{Faults: plan}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shortF := testing.AllocsPerRun(5, faultyWith(10))
+	longF := testing.AllocsPerRun(5, faultyWith(1010))
+	if longF > shortF {
+		t.Errorf("faulty per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortF, longF)
+	}
 }
 
 func TestEmptyDigraph(t *testing.T) {
@@ -535,5 +553,81 @@ func TestDeltaWalkKeepsRoutingCurrent(t *testing.T) {
 	}
 	if _, err := Run(d, factory, Options{}); err == nil {
 		t.Error("message over the toggled-out arc accepted")
+	}
+}
+
+func TestMaxRoundsErrorNamesLiveNodes(t *testing.T) {
+	// Regression: the MaxRounds-exhausted error must name the still-running
+	// node ids and the round count (shared with the undirected simulator).
+	d := dirPath(4)
+	factory := func(local Local) Node {
+		return &FuncNode{
+			RoundFunc: func(round int, inbox []Incoming) ([]Message, bool) {
+				return nil, local.ID == 0 // only node 0 ever terminates
+			},
+		}
+	}
+	_, err := Run(d, factory, Options{MaxRounds: 7})
+	if err == nil {
+		t.Fatal("non-terminating program not aborted")
+	}
+	for _, want := range []string{"7 rounds", "3 of 4 nodes", "[1 2 3]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestFaultsSeededReplayDeterministic(t *testing.T) {
+	d := dirCycle(12)
+	plan := &faults.Plan{Seed: 17, DropProb: 0.2, MaxDelay: 2}
+	run := func() *Result {
+		res, err := Run(d, newFloodMin(30), Options{Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Fatalf("replay diverged: %d rounds/%d msgs vs %d rounds/%d msgs",
+			a.Rounds, a.Messages, b.Rounds, b.Messages)
+	}
+	for v := range a.Outputs {
+		if a.Outputs[v] != b.Outputs[v] {
+			t.Errorf("vertex %d: replay diverged: %v vs %v", v, a.Outputs[v], b.Outputs[v])
+		}
+	}
+}
+
+func TestFaultsCrashAndLinkFailure(t *testing.T) {
+	// Crashing node 1 on the directed path 0->1->2->3 cuts 2 and 3 off
+	// from the minimum id 0, and the crashed node produces no output.
+	d := dirPath(4)
+	plan := &faults.Plan{Crashes: []faults.Crash{{Node: 1, Round: 0}}}
+	res, err := Run(d, newFloodMin(10), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil {
+		t.Errorf("crashed node produced output %v", res.Outputs[1])
+	}
+	for _, v := range []int{2, 3} {
+		if got := res.Outputs[v].(int64); got != 2 {
+			t.Errorf("vertex %d learned %d, want 2 after node 1 crashed", v, got)
+		}
+	}
+
+	// A link failure is keyed on the unordered pair, so it silences the
+	// full-duplex link in both directions.
+	plan = &faults.Plan{LinkFailures: []faults.LinkFailure{{U: 1, V: 2, Round: 0}}}
+	res, err = Run(d, newFloodMin(10), Options{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range map[int]int64{0: 0, 1: 0, 2: 2, 3: 2} {
+		if got := res.Outputs[v].(int64); got != want {
+			t.Errorf("vertex %d learned %d, want %d after 1-2 link failure", v, got, want)
+		}
 	}
 }

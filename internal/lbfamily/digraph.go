@@ -1,8 +1,10 @@
 package lbfamily
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -56,7 +58,14 @@ type DigraphOracleFamily interface {
 // observable — the checks, the first-error choice and its message — is
 // identical to the rebuild-every-pair path, which remains the transparent
 // fallback.
-func VerifyDigraph(fam DigraphFamily) error {
+func VerifyDigraph(fam DigraphFamily) error { return VerifyDigraphCtx(context.Background(), fam) }
+
+// VerifyDigraphCtx is VerifyDigraph with cancellation: when ctx fires
+// mid-sweep the workers drain promptly and the call returns a
+// *CancelledError carrying the completed/total pair counts. A panic
+// inside a worker is confined to its pair and surfaces as a *PanicError
+// naming the (x, y) pair.
+func VerifyDigraphCtx(ctx context.Context, fam DigraphFamily) error {
 	k := fam.K()
 	if k > 12 {
 		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampledDigraph)", k)
@@ -65,7 +74,7 @@ func VerifyDigraph(fam DigraphFamily) error {
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyDigraphOverMode(fam, inputs, inputs, false)
+	return verifyDigraphOverMode(ctx, fam, inputs, inputs, false)
 }
 
 // VerifySampledDigraph checks Definition 1.1 for a directed family on up
@@ -73,48 +82,50 @@ func VerifyDigraph(fam DigraphFamily) error {
 // corners (random draws are deduplicated, like VerifySampled's).
 // Structural conditions (1-3) are checked pairwise across the sample.
 func VerifySampledDigraph(fam DigraphFamily, rng *rand.Rand, trials int) error {
-	k := fam.K()
-	ones := comm.OnesBits(k)
-	inputs := []comm.Bits{comm.NewBits(k), ones}
-	seen := map[string]bool{inputs[0].String(): true, ones.String(): true}
-	for i := 0; i < trials; i++ {
-		b := comm.RandomBits(k, rng)
-		if key := b.String(); !seen[key] {
-			seen[key] = true
-			inputs = append(inputs, b)
-		}
-	}
-	return verifyDigraphOverMode(fam, inputs, inputs, false)
+	return VerifySampledDigraphCtx(context.Background(), fam, rng, trials)
 }
 
-func verifyDigraphOverMode(fam DigraphFamily, xs, ys []comm.Bits, forceRebuild bool) error {
+// VerifySampledDigraphCtx is VerifySampledDigraph with cancellation, like
+// VerifyDigraphCtx.
+func VerifySampledDigraphCtx(ctx context.Context, fam DigraphFamily, rng *rand.Rand, trials int) error {
+	inputs := sampledInputs(fam.K(), rng, trials)
+	return verifyDigraphOverMode(ctx, fam, inputs, inputs, false)
+}
+
+func verifyDigraphOverMode(ctx context.Context, fam DigraphFamily, xs, ys []comm.Bits, forceRebuild bool) error {
 	side := fam.AliceSide()
-	if len(xs)*len(ys) == 0 {
+	total := len(xs) * len(ys)
+	if total == 0 {
 		return nil
 	}
-	outcomes, _ := collectDigraphOutcomes(fam, side, xs, ys, forceRebuild)
+	outcomes, completed, _ := collectDigraphOutcomes(ctx, fam, side, xs, ys, forceRebuild)
+	if err := sweepCancelled(ctx, completed, total); err != nil {
+		return err
+	}
 	return scanDigraphOutcomes(fam, side, xs, ys, outcomes)
 }
 
 // collectDigraphOutcomes is directed verification phase 1: it computes
 // every pair's outcome, delta-driven when the family opts in (and the
 // delta machinery encounters no unexpected failure), rebuilding every
-// instance otherwise. The second return reports whether the delta path
-// produced the outcomes.
-func collectDigraphOutcomes(fam DigraphFamily, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, bool) {
+// instance otherwise. It also reports the number of pairs fully computed
+// (less than the total only under cancellation) and whether the delta
+// path produced the outcomes. A cancelled delta sweep does NOT fall back
+// to the rebuild path — the interruption is the caller's to report.
+func collectDigraphOutcomes(ctx context.Context, fam DigraphFamily, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, int, bool) {
 	bobSide := make([]bool, len(side))
 	for i, a := range side {
 		bobSide[i] = !a
 	}
 	if !forceRebuild {
 		if df, ok := fam.(DeltaDigraphFamily); ok {
-			if outcomes, ok := computeDigraphPairsDelta(df, side, bobSide, xs, ys); ok {
-				return outcomes, true
+			if outcomes, completed, ok := computeDigraphPairsDelta(ctx, df, side, bobSide, xs, ys); ok {
+				return outcomes, completed, true
 			}
 		}
 	}
 	total := len(xs) * len(ys)
-	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
+	outcomes, completed := computePairs(ctx, total, func(idx int64, out *pairOutcome) bool {
 		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
 		d, err := fam.Build(x, y)
 		if err != nil {
@@ -131,7 +142,7 @@ func collectDigraphOutcomes(fam DigraphFamily, side []bool, xs, ys []comm.Bits, 
 		out.got, out.predErr = fam.Predicate(d)
 		return out.predErr == nil
 	})
-	return outcomes, false
+	return outcomes, completed, false
 }
 
 // digraphDeltaSurfaceConsistent is the directed analogue of
@@ -170,18 +181,18 @@ func digraphDeltaSurfaceConsistent(df DeltaDigraphFamily, side, bobSide []bool) 
 // unexpected failure of the delta machinery reports ok = false and the
 // caller transparently falls back to the rebuild path, whose error
 // reporting is the historical reference.
-func computeDigraphPairsDelta(df DeltaDigraphFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, bool) {
+func computeDigraphPairsDelta(ctx context.Context, df DeltaDigraphFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, int, bool) {
 	if !digraphDeltaSurfaceConsistent(df, side, bobSide) {
-		return nil, false
+		return nil, 0, false
 	}
 	base, err := df.BuildBase()
 	if err != nil || base == nil || base.N() != len(side) {
-		return nil, false
+		return nil, 0, false
 	}
 	total := len(xs) * len(ys)
 	order := walkOrder(xs, df.K())
 	outcomes := make([]pairOutcome, total)
-	var nextCol, minErr atomic.Int64
+	var nextCol, minErr, completed atomic.Int64
 	minErr.Store(int64(total))
 	ok := atomic.Bool{}
 	ok.Store(true)
@@ -190,19 +201,28 @@ func computeDigraphPairsDelta(df DeltaDigraphFamily, side, bobSide []bool, xs, y
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if !digraphDeltaWorker(df, base.Clone(), side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr) {
+			// A panic outside predicate evaluation abandons the delta
+			// path; the rebuild fallback recomputes every pair with
+			// per-pair confinement.
+			defer func() {
+				if r := recover(); r != nil {
+					ok.Store(false)
+				}
+			}()
+			if !digraphDeltaWorker(ctx, df, base.Clone(), side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr, &completed) {
 				ok.Store(false)
 			}
 		}()
 	}
 	wg.Wait()
-	return outcomes, ok.Load()
+	return outcomes, int(completed.Load()), ok.Load()
 }
 
-// digraphDeltaWorker claims columns until none remain, mirroring
-// deltaWorker arc-for-edge. It reports false when the delta machinery
-// itself failed and the caller must fall back.
-func digraphDeltaWorker(df DeltaDigraphFamily, d *graph.Digraph, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr *atomic.Int64) bool {
+// digraphDeltaWorker claims columns until none remain or ctx fires,
+// mirroring deltaWorker arc-for-edge. It reports false when the delta
+// machinery itself failed and the caller must fall back; cancellation is
+// NOT a failure.
+func digraphDeltaWorker(ctx context.Context, df DeltaDigraphFamily, d *graph.Digraph, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr, completed *atomic.Int64) bool {
 	k := df.K()
 	d.FreezePatchable()
 	d.StartJournal()
@@ -248,7 +268,22 @@ func digraphDeltaWorker(df DeltaDigraphFamily, d *graph.Digraph, side, bobSide [
 		return nil
 	}
 
+	// evalInto runs the predicate with panic confinement: a panic becomes
+	// the pair's panicErr instead of abandoning the delta path, since it
+	// would recur identically under the rebuild fallback.
+	evalInto := func(out *pairOutcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		out.got, out.predErr = eval(d)
+	}
+
 	for {
+		if ctx.Err() != nil {
+			return true // cancelled, not broken: keep the partial outcomes
+		}
 		yi := int(nextCol.Add(1) - 1)
 		if yi >= len(ys) {
 			return true
@@ -257,6 +292,9 @@ func digraphDeltaWorker(df DeltaDigraphFamily, d *graph.Digraph, side, bobSide [
 			return false
 		}
 		for _, xi := range order {
+			if ctx.Err() != nil {
+				return true
+			}
 			if err := applyDiff(PlayerX, curX, xs[xi]); err != nil {
 				return false
 			}
@@ -267,10 +305,11 @@ func digraphDeltaWorker(df DeltaDigraphFamily, d *graph.Digraph, side, bobSide [
 			if idx > minErr.Load() {
 				continue // a pair earlier in row-major order already failed
 			}
-			out.got, out.predErr = eval(d)
-			if out.predErr != nil {
+			evalInto(out)
+			if out.predErr != nil || out.panicErr != nil {
 				storeMin(minErr, idx)
 			}
+			completed.Add(1)
 		}
 	}
 }
@@ -290,6 +329,12 @@ func scanDigraphOutcomes(fam DigraphFamily, side []bool, xs, ys []comm.Bits, out
 	for xi, x := range xs {
 		for yi, y := range ys {
 			out := &outcomes[xi*len(ys)+yi]
+			if out.panicErr != nil {
+				// Checked before the structural conditions: a pair that
+				// panicked mid-compute has no meaningful n or hashes.
+				out.panicErr.X, out.panicErr.Y = x, y
+				return out.panicErr
+			}
 			if out.buildErr != nil {
 				return fmt.Errorf("build(%s,%s): %w", x, y, out.buildErr)
 			}

@@ -1,6 +1,7 @@
 package lbfamily
 
 import (
+	"context"
 	"fmt"
 
 	"congesthard/internal/comm"
@@ -25,7 +26,7 @@ func CollectOutcomesForTest(fam Family, xs, ys []comm.Bits, forceRebuild bool) (
 	if err != nil {
 		return nil, false, err
 	}
-	outcomes, delta := collectOutcomes(fam, side, xs, ys, forceRebuild)
+	outcomes, _, delta := collectOutcomes(context.Background(), fam, side, xs, ys, forceRebuild)
 	views := make([]OutcomeForTest, len(outcomes))
 	for i, o := range outcomes {
 		views[i] = OutcomeForTest{
@@ -47,13 +48,13 @@ func VerifyRebuild(fam Family) error {
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyOverMode(fam, inputs, inputs, true)
+	return verifyOverMode(context.Background(), fam, inputs, inputs, true)
 }
 
 // CollectDigraphOutcomesForTest is CollectOutcomesForTest for directed
 // families: phase 1 over xs × ys, delta-with-fallback or forced rebuild.
 func CollectDigraphOutcomesForTest(fam DigraphFamily, xs, ys []comm.Bits, forceRebuild bool) ([]OutcomeForTest, bool, error) {
-	outcomes, delta := collectDigraphOutcomes(fam, fam.AliceSide(), xs, ys, forceRebuild)
+	outcomes, _, delta := collectDigraphOutcomes(context.Background(), fam, fam.AliceSide(), xs, ys, forceRebuild)
 	views := make([]OutcomeForTest, len(outcomes))
 	for i, o := range outcomes {
 		views[i] = OutcomeForTest{
@@ -76,5 +77,5 @@ func VerifyDigraphRebuild(fam DigraphFamily) error {
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyDigraphOverMode(fam, inputs, inputs, true)
+	return verifyDigraphOverMode(context.Background(), fam, inputs, inputs, true)
 }

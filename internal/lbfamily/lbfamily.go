@@ -17,10 +17,12 @@
 package lbfamily
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -159,7 +161,15 @@ func ImpliedLowerBound(stats Stats, f comm.Function) (float64, error) {
 // only the changed bit's edges between pairs. Everything observable — the
 // checks, the first-error choice and its message — is identical to the
 // rebuild-every-pair path, which remains the transparent fallback.
-func Verify(fam Family) error {
+func Verify(fam Family) error { return VerifyCtx(context.Background(), fam) }
+
+// VerifyCtx is Verify with cancellation: when ctx is cancelled (or its
+// deadline passes) mid-sweep, the workers drain promptly and the call
+// returns a *CancelledError carrying the completed/total pair counts
+// instead of running the remaining pairs to completion. A panic inside a
+// worker is confined to its pair and surfaces as a *PanicError naming the
+// (x, y) pair.
+func VerifyCtx(ctx context.Context, fam Family) error {
 	k := fam.K()
 	if k > 12 {
 		return fmt.Errorf("exhaustive verification limited to K <= 12, got %d (use VerifySampled)", k)
@@ -168,7 +178,7 @@ func Verify(fam Family) error {
 	if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
 		return err
 	}
-	return verifyOverMode(fam, inputs, inputs, false)
+	return verifyOverMode(ctx, fam, inputs, inputs, false)
 }
 
 // VerifySampled checks Definition 1.1 on up to trials distinct random
@@ -177,7 +187,20 @@ func Verify(fam Family) error {
 // evaluations). Structural conditions (1-3) are checked pairwise across
 // the sample.
 func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
-	k := fam.K()
+	return VerifySampledCtx(context.Background(), fam, rng, trials)
+}
+
+// VerifySampledCtx is VerifySampled with cancellation, like VerifyCtx.
+func VerifySampledCtx(ctx context.Context, fam Family, rng *rand.Rand, trials int) error {
+	inputs := sampledInputs(fam.K(), rng, trials)
+	return verifyOverMode(ctx, fam, inputs, inputs, false)
+}
+
+// sampledInputs draws the shared sampled-verification input set: the
+// all-zeros and all-ones corners plus up to trials distinct random k-bit
+// strings (duplicates are discarded — re-running an identical input adds
+// no coverage). Both the undirected and directed sampled verifiers use it.
+func sampledInputs(k int, rng *rand.Rand, trials int) []comm.Bits {
 	ones := comm.OnesBits(k)
 	inputs := []comm.Bits{comm.NewBits(k), ones}
 	seen := map[string]bool{inputs[0].String(): true, ones.String(): true}
@@ -188,7 +211,7 @@ func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 			inputs = append(inputs, b)
 		}
 	}
-	return verifyOverMode(fam, inputs, inputs, false)
+	return inputs
 }
 
 // pairOutcome is the per-(x, y) result computed by a verification worker:
@@ -199,6 +222,7 @@ func VerifySampled(fam Family, rng *rand.Rand, trials int) error {
 type pairOutcome struct {
 	buildErr error
 	predErr  error
+	panicErr *PanicError
 	n        int
 	cutHash  uint64
 	aHash    uint64
@@ -219,13 +243,17 @@ func verifyWorkers(total int) int {
 }
 
 // computePairs runs compute for every pair index across a worker pool and
-// returns the recorded outcomes. compute fills outcomes[idx] and reports
-// whether the pair succeeded; after a failure, workers skip pairs that
-// come later in row-major order (the serial scan never reads past the
-// first failing pair, which is always fully computed).
-func computePairs(total int, compute func(idx int64, out *pairOutcome) bool) []pairOutcome {
+// returns the recorded outcomes plus the number of pairs fully computed.
+// compute fills outcomes[idx] and reports whether the pair succeeded;
+// after a failure, workers skip pairs that come later in row-major order
+// (the serial scan never reads past the first failing pair, which is
+// always fully computed). A cancelled ctx stops workers from claiming new
+// pairs; in-flight pairs finish, so the completed count stays consistent.
+// A panic inside compute is confined to its pair and recorded as that
+// outcome's panicErr.
+func computePairs(ctx context.Context, total int, compute func(idx int64, out *pairOutcome) bool) ([]pairOutcome, int) {
 	outcomes := make([]pairOutcome, total)
-	var nextIdx, minErr atomic.Int64
+	var nextIdx, minErr, completed atomic.Int64
 	minErr.Store(int64(total))
 	var wg sync.WaitGroup
 	for w := verifyWorkers(total); w > 0; w-- {
@@ -233,6 +261,9 @@ func computePairs(total int, compute func(idx int64, out *pairOutcome) bool) []p
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				idx := nextIdx.Add(1) - 1
 				if idx >= int64(total) {
 					return
@@ -240,25 +271,53 @@ func computePairs(total int, compute func(idx int64, out *pairOutcome) bool) []p
 				if idx > minErr.Load() {
 					continue
 				}
-				if !compute(idx, &outcomes[idx]) {
+				if !safeCompute(compute, idx, &outcomes[idx]) {
 					storeMin(&minErr, idx)
 				}
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
-	return outcomes
+	return outcomes, int(completed.Load())
 }
 
-func verifyOverMode(fam Family, xs, ys []comm.Bits, forceRebuild bool) error {
+// safeCompute runs compute with panic confinement: a panic is recorded as
+// the pair's panicErr (with the stack captured at the panic site) and
+// treated as a pair failure rather than crashing the sweep.
+func safeCompute(compute func(idx int64, out *pairOutcome) bool, idx int64, out *pairOutcome) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+			ok = false
+		}
+	}()
+	return compute(idx, out)
+}
+
+// sweepCancelled translates an interrupted phase 1 into a CancelledError;
+// a sweep that computed every pair before the context fired is complete
+// and scans normally.
+func sweepCancelled(ctx context.Context, completed, total int) error {
+	if err := ctx.Err(); err != nil && completed < total {
+		return &CancelledError{Completed: completed, Total: total, Err: err}
+	}
+	return nil
+}
+
+func verifyOverMode(ctx context.Context, fam Family, xs, ys []comm.Bits, forceRebuild bool) error {
 	side, err := familySide(fam)
 	if err != nil {
 		return fmt.Errorf("alice side: %w", err)
 	}
-	if len(xs)*len(ys) == 0 {
+	total := len(xs) * len(ys)
+	if total == 0 {
 		return nil
 	}
-	outcomes, _ := collectOutcomes(fam, side, xs, ys, forceRebuild)
+	outcomes, completed, _ := collectOutcomes(ctx, fam, side, xs, ys, forceRebuild)
+	if err := sweepCancelled(ctx, completed, total); err != nil {
+		return err
+	}
 	return scanOutcomes(fam, side, xs, ys, outcomes)
 }
 
@@ -275,21 +334,24 @@ func familySide(fam Family) ([]bool, error) {
 // collectOutcomes is verification phase 1: it computes every pair's
 // outcome, delta-driven when the family opts in (and the delta machinery
 // encounters no unexpected failure), rebuilding every instance otherwise.
-// The second return reports whether the delta path produced the outcomes.
-func collectOutcomes(fam Family, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, bool) {
+// It also reports the number of pairs fully computed (less than the total
+// only under cancellation) and whether the delta path produced the
+// outcomes. A cancelled delta sweep does NOT fall back to the rebuild
+// path — the interruption is the caller's to report.
+func collectOutcomes(ctx context.Context, fam Family, side []bool, xs, ys []comm.Bits, forceRebuild bool) ([]pairOutcome, int, bool) {
 	bobSide := make([]bool, len(side))
 	for i, a := range side {
 		bobSide[i] = !a
 	}
 	if !forceRebuild {
 		if df, ok := fam.(DeltaFamily); ok {
-			if outcomes, ok := computePairsDelta(df, side, bobSide, xs, ys); ok {
-				return outcomes, true
+			if outcomes, completed, ok := computePairsDelta(ctx, df, side, bobSide, xs, ys); ok {
+				return outcomes, completed, true
 			}
 		}
 	}
 	total := len(xs) * len(ys)
-	outcomes := computePairs(total, func(idx int64, out *pairOutcome) bool {
+	outcomes, completed := computePairs(ctx, total, func(idx int64, out *pairOutcome) bool {
 		x, y := xs[idx/int64(len(ys))], ys[idx%int64(len(ys))]
 		g, err := fam.Build(x, y)
 		if err != nil {
@@ -308,7 +370,7 @@ func collectOutcomes(fam Family, side []bool, xs, ys []comm.Bits, forceRebuild b
 		out.got, out.predErr = fam.Predicate(g)
 		return out.predErr == nil
 	})
-	return outcomes, false
+	return outcomes, completed, false
 }
 
 // computePairsDelta is the delta-driven phase 1: each worker owns one
@@ -319,14 +381,14 @@ func collectOutcomes(fam Family, side []bool, xs, ys []comm.Bits, forceRebuild b
 // delta machinery (base build or ApplyBit error) reports ok = false and
 // the caller transparently falls back to the rebuild path, whose error
 // reporting is the historical reference.
-func computePairsDelta(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, bool) {
+func computePairsDelta(ctx context.Context, df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits) ([]pairOutcome, int, bool) {
 	if !deltaSurfaceConsistent(df, side, bobSide) {
-		return nil, false
+		return nil, 0, false
 	}
 	total := len(xs) * len(ys)
 	order := walkOrder(xs, df.K())
 	outcomes := make([]pairOutcome, total)
-	var nextCol, minErr atomic.Int64
+	var nextCol, minErr, completed atomic.Int64
 	minErr.Store(int64(total))
 	ok := atomic.Bool{}
 	ok.Store(true)
@@ -335,13 +397,21 @@ func computePairsDelta(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if !deltaWorker(df, side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr) {
+			// A panic outside predicate evaluation (BuildBase, ApplyBit,
+			// journal folding) abandons the delta path; the rebuild
+			// fallback recomputes every pair with per-pair confinement.
+			defer func() {
+				if r := recover(); r != nil {
+					ok.Store(false)
+				}
+			}()
+			if !deltaWorker(ctx, df, side, bobSide, xs, ys, order, outcomes, &nextCol, &minErr, &completed) {
 				ok.Store(false)
 			}
 		}()
 	}
 	wg.Wait()
-	return outcomes, ok.Load()
+	return outcomes, int(completed.Load()), ok.Load()
 }
 
 // deltaSurfaceConsistent spot-checks the DeltaFamily contract before the
@@ -375,9 +445,11 @@ func deltaSurfaceConsistent(df DeltaFamily, side, bobSide []bool) bool {
 		g.HashWithin(bobSide) == want.HashWithin(bobSide)
 }
 
-// deltaWorker claims columns until none remain. It reports false when the
-// delta machinery itself failed and the caller must fall back.
-func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr *atomic.Int64) bool {
+// deltaWorker claims columns until none remain or ctx fires. It reports
+// false when the delta machinery itself failed and the caller must fall
+// back; cancellation is NOT a failure (returning true keeps the partial
+// outcomes, which the caller reports as a CancelledError).
+func deltaWorker(ctx context.Context, df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr, completed *atomic.Int64) bool {
 	k := df.K()
 	g, err := df.BuildBase()
 	if err != nil || g == nil || g.N() != len(side) {
@@ -437,7 +509,22 @@ func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order
 		return nil
 	}
 
+	// evalInto runs the predicate with panic confinement: a panic becomes
+	// the pair's panicErr instead of abandoning the delta path, since it
+	// would recur identically under the rebuild fallback.
+	evalInto := func(out *pairOutcome) {
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		out.got, out.predErr = eval(g)
+	}
+
 	for {
+		if ctx.Err() != nil {
+			return true // cancelled, not broken: keep the partial outcomes
+		}
 		yi := int(nextCol.Add(1) - 1)
 		if yi >= len(ys) {
 			return true
@@ -446,6 +533,9 @@ func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order
 			return false
 		}
 		for _, xi := range order {
+			if ctx.Err() != nil {
+				return true
+			}
 			if err := applyDiff(PlayerX, curX, xs[xi]); err != nil {
 				return false
 			}
@@ -456,10 +546,11 @@ func deltaWorker(df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order
 			if idx > minErr.Load() {
 				continue // a pair earlier in row-major order already failed
 			}
-			out.got, out.predErr = eval(g)
-			if out.predErr != nil {
+			evalInto(out)
+			if out.predErr != nil || out.panicErr != nil {
 				storeMin(minErr, idx)
 			}
+			completed.Add(1)
 		}
 	}
 }
@@ -509,6 +600,12 @@ func scanOutcomes(fam Family, side []bool, xs, ys []comm.Bits, outcomes []pairOu
 	for xi, x := range xs {
 		for yi, y := range ys {
 			out := &outcomes[xi*len(ys)+yi]
+			if out.panicErr != nil {
+				// Checked before the structural conditions: a pair that
+				// panicked mid-compute has no meaningful n or hashes.
+				out.panicErr.X, out.panicErr.Y = x, y
+				return out.panicErr
+			}
 			if out.buildErr != nil {
 				return fmt.Errorf("build(%s,%s): %w", x, y, out.buildErr)
 			}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"congesthard/internal/comm"
@@ -36,6 +37,14 @@ type DigraphAlgorithm struct {
 // between runs; the rebuild path remains as fallback and reference
 // (differential-tested pair-for-pair).
 func CertifyDigraph(fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config) (*Report, error) {
+	return CertifyDigraphCtx(context.Background(), fam, alg, cfg)
+}
+
+// CertifyDigraphCtx is CertifyDigraph with cancellation and panic
+// confinement, mirroring CertifyCtx: a cancelled or panicked sweep
+// returns the partial report (Pairs truncated to the completed count)
+// alongside a *lbfamily.CancelledError or *lbfamily.PanicError.
+func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config) (*Report, error) {
 	if alg.Prepare == nil {
 		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
 	}
@@ -75,7 +84,7 @@ func CertifyDigraph(fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config
 		if err != nil {
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
-		opts := dicongest.Options{BandwidthBits: bandwidth, CutSide: side}
+		opts := dicongest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults}
 		var res *dicongest.Result
 		if checksLeft > 0 {
 			checksLeft--
@@ -104,25 +113,38 @@ func CertifyDigraph(fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config
 		return nil
 	}
 
-	ran := false
-	if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
-		if err := certifyDigraphDelta(df, xs, ys, runPair); err != nil {
-			return nil, err
+	report.Total = len(xs)
+	completed := 0
+	step := func(idx int, d *graph.Digraph, x, y comm.Bits) error {
+		if err := ctx.Err(); err != nil {
+			return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
 		}
-		ran = true
+		if err := safeStep(func() error { return runPair(idx, d, x, y) }, x, y); err != nil {
+			return err
+		}
+		completed++
+		return nil
 	}
-	if !ran {
+
+	sweep := func() error {
+		if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
+			return certifyDigraphDelta(df, xs, ys, step)
+		}
 		for idx := range xs {
 			d, err := fam.Build(xs[idx], ys[idx])
 			if err != nil {
-				return nil, fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+				return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
 			}
-			if err := runPair(idx, d, xs[idx], ys[idx]); err != nil {
-				return nil, err
+			if err := step(idx, d, xs[idx], ys[idx]); err != nil {
+				return err
 			}
 		}
+		return nil
 	}
-
+	if err := sweep(); err != nil {
+		return partialReport(report, completed, f, err)
+	}
+	report.Completed = completed
 	report.finalize(f)
 	return report, nil
 }

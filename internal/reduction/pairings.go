@@ -66,6 +66,35 @@ func CollectMDS(fam *mdslb.Family) Algorithm {
 		func(total int64) bool { return total <= int64(fam.TargetSize()) })
 }
 
+// CollectRetryMDS decides the same predicate as CollectMDS over the
+// retransmitting collect variant, so the decision stays exact under
+// bounded message-drop and delay fault plans: every per-neighbor chunk
+// stream runs a stop-and-wait ARQ and re-sends until acknowledged.
+// Callers must raise Config.Bandwidth to at least
+// algorithms.CollectRetryMinBandwidth(n) (three header bits ride on
+// every frame) and Config.MaxRounds to algorithms.CollectRetryRoundsCap(n)
+// — the retry budget exceeds the simulator's default guard on small
+// graphs.
+func CollectRetryMDS(fam *mdslb.Family) Algorithm {
+	return Algorithm{
+		Name:  "collect-retry",
+		Exact: true,
+		Prepare: func(g *graph.Graph, bandwidth int, seed int64) (congest.Factory, func(*congest.Result) (bool, error), error) {
+			factory, _, err := algorithms.CollectRetryFactory(g, bandwidth, algorithms.CollectSpec{Eval: dominationNumber})
+			if err != nil {
+				return nil, nil, err
+			}
+			return factory, func(res *congest.Result) (bool, error) {
+				total, err := algorithms.CollectTotal(res)
+				if err != nil {
+					return false, err
+				}
+				return total <= int64(fam.TargetSize()), nil
+			}, nil
+		},
+	}
+}
+
 // GreedyMDS collects the graph and answers with the sequential greedy
 // O(log Δ)-approximation: "yes" iff the summed greedy set size meets the
 // target. The greedy set can exceed γ(G) on yes-instances, so Certify

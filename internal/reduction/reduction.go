@@ -1,11 +1,15 @@
 package reduction
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 
 	"congesthard/internal/comm"
 	"congesthard/internal/congest"
+	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 )
@@ -52,6 +56,17 @@ type Config struct {
 	// replayed from Alice's side plus the recorded transcript and must
 	// reproduce her outputs and messages exactly.
 	TranscriptChecks int
+	// Faults injects a deterministic fault plan into every certified run
+	// (dropped, delayed or failed links, crashed nodes — see the faults
+	// package). Faults act after the sender's messages are validated and
+	// metered, so the Theorem 1.1 cut accounting and transcript replay are
+	// preserved; nil runs fault-free.
+	Faults *faults.Plan
+	// MaxRounds overrides the simulators' runaway guard (0 keeps their
+	// default 4n²+64). Retransmitting algorithms bake a larger round
+	// budget into their programs — see algorithms.CollectRetryRoundsCap
+	// for the collect-retry value.
+	MaxRounds int
 }
 
 // PairReport is the measured outcome of one (x, y) certification run.
@@ -86,6 +101,12 @@ type Report struct {
 	MaxCutBits int64
 	SimBits    int64
 	CCBound    float64
+	// Completed and Total count certified vs selected pairs. They differ
+	// only in a partial report: a cancelled or panicked sweep returns the
+	// pairs certified so far (Pairs is truncated to match) alongside the
+	// error.
+	Completed int
+	Total     int
 }
 
 // Certify runs alg over (x, y) input pairs of fam — exhaustively when
@@ -97,6 +118,15 @@ type Report struct {
 // (Gray-code order over the exhaustive cube), instead of rebuilding every
 // G_{x,y}; the rebuild path remains as fallback and reference.
 func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
+	return CertifyCtx(context.Background(), fam, alg, cfg)
+}
+
+// CertifyCtx is Certify with cancellation and panic confinement: when ctx
+// fires mid-sweep, the walk stops and the partial report (Pairs truncated
+// to the completed count) is returned alongside a *lbfamily.CancelledError;
+// a panic inside one pair's run is returned as a *lbfamily.PanicError
+// naming the (x, y) pair, again with the partial report.
+func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 	if alg.Prepare == nil {
 		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
 	}
@@ -136,7 +166,7 @@ func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 		if err != nil {
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
-		opts := congest.Options{BandwidthBits: bandwidth, CutSide: side}
+		opts := congest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults}
 		var res *congest.Result
 		if checksLeft > 0 {
 			checksLeft--
@@ -165,27 +195,68 @@ func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 		return nil
 	}
 
-	ran := false
-	if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
-		if err := certifyDelta(df, xs, ys, runPair); err != nil {
-			return nil, err
+	report.Total = len(xs)
+	completed := 0
+	step := func(idx int, g *graph.Graph, x, y comm.Bits) error {
+		if err := ctx.Err(); err != nil {
+			return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
 		}
-		ran = true
+		if err := safeStep(func() error { return runPair(idx, g, x, y) }, x, y); err != nil {
+			return err
+		}
+		completed++
+		return nil
 	}
-	if !ran {
+
+	sweep := func() error {
+		if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
+			return certifyDelta(df, xs, ys, step)
+		}
 		for idx := range xs {
 			g, err := fam.Build(xs[idx], ys[idx])
 			if err != nil {
-				return nil, fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+				return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
 			}
-			if err := runPair(idx, g, xs[idx], ys[idx]); err != nil {
-				return nil, err
+			if err := step(idx, g, xs[idx], ys[idx]); err != nil {
+				return err
 			}
 		}
+		return nil
 	}
-
+	if err := sweep(); err != nil {
+		return partialReport(report, completed, f, err)
+	}
+	report.Completed = completed
 	report.finalize(f)
 	return report, nil
+}
+
+// safeStep runs one pair's certification with panic confinement: a panic
+// becomes a *lbfamily.PanicError naming the pair instead of crashing the
+// sweep and losing the pairs already certified.
+func safeStep(run func() error, x, y comm.Bits) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &lbfamily.PanicError{X: x.Clone(), Y: y.Clone(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run()
+}
+
+// partialReport resolves an interrupted sweep: cancellations and confined
+// panics return the truncated-but-finalized report alongside the error
+// (the completed pairs' measurements are still valid Theorem 1.1 data);
+// any other failure returns no report, as before.
+func partialReport(report *Report, completed int, f comm.Function, err error) (*Report, error) {
+	var cerr *lbfamily.CancelledError
+	var perr *lbfamily.PanicError
+	if !errors.As(err, &cerr) && !errors.As(err, &perr) {
+		return nil, err
+	}
+	report.Pairs = report.Pairs[:completed]
+	report.Completed = completed
+	report.finalize(f)
+	return report, err
 }
 
 // finalize computes the aggregate Theorem 1.1 accounting from the
