@@ -8,9 +8,15 @@
 package main_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"congesthard/internal/aggregate"
 	"congesthard/internal/algorithms"
@@ -31,6 +37,8 @@ import (
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
 	"congesthard/internal/pls"
+	"congesthard/internal/serve"
+	"congesthard/internal/serve/client"
 	"congesthard/internal/solver"
 )
 
@@ -706,6 +714,73 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeThroughput measures the job-serving layer end to end:
+// b.N certification jobs (sampled mds/greedy sweeps) submitted over HTTP
+// at concurrency 8 against a 4-worker server, each waited to completion
+// through the polling client. Reports request throughput (req/s) and p99
+// submit-to-terminal latency (p99-ms) for the BENCH trajectory; the
+// latency floor is the client's initial 10ms poll interval, so the
+// numbers track queueing and serving overhead, not sweep cost.
+func BenchmarkServeThroughput(b *testing.B) {
+	srv := serve.New(serve.Config{Workers: 4, QueueDepth: 64, DefaultTimeout: time.Minute}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Warm the family-base cache so the measured section is steady-state
+	// serving, not the one-off family build.
+	st, err := cl.Submit(ctx, serve.JobRequest{Family: "mds", Alg: "greedy", Pairs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil || st.State != serve.StateDone {
+		b.Fatalf("warmup job ended %+v, err %v", st, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  atomic.Int64
+	)
+	const concurrency = 8
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			st, err := cl.Submit(ctx, serve.JobRequest{Family: "mds", Alg: "greedy", Pairs: 4, Seed: int64(i)})
+			if err == nil {
+				st, err = cl.Wait(ctx, st.ID)
+			}
+			if err != nil || st.State != serve.StateDone {
+				failures.Add(1)
+				return
+			}
+			mu.Lock()
+			latencies = append(latencies, time.Since(t0))
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if n := failures.Load(); n > 0 {
+		b.Fatalf("%d of %d jobs failed", n, b.N)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[int(0.99*float64(len(latencies)-1))]
+	b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
 }
 
 // BenchmarkMVCFamily covers the Section 3 base family (used by E8/E9).

@@ -1,0 +1,135 @@
+// Command hardload is a load generator for the hardness job server: it
+// fires n certification jobs at concurrency c, waits for each to finish,
+// and prints a greppable summary (outcome counters, shed count, p50/p99
+// job latency and end-to-end request rate). With -no-retry it submits
+// each job exactly once, so shed submissions surface as shed429 instead
+// of being retried — the mode CI uses to assert that an oversized burst
+// actually draws 429s.
+//
+//	hardload -addr http://localhost:8080 -n 64 -c 8 -family mds -alg greedy -pairs 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"congesthard/internal/serve"
+	"congesthard/internal/serve/client"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8080", "server base URL")
+		n          = flag.Int("n", 32, "total jobs to submit")
+		c          = flag.Int("c", 4, "submission concurrency")
+		family     = flag.String("family", "mds", "family to certify")
+		alg        = flag.String("alg", "greedy", "algorithm to pair with")
+		pairs      = flag.Int("pairs", 16, "sampled pairs per job (0 = exhaustive)")
+		seed       = flag.Int64("seed", 1, "base seed; job i uses seed+i")
+		faultSpec  = flag.String("faults", "", "fault plan for every job, e.g. drop=0.01,seed=7")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job deadline sent to the server (0 = server default)")
+		noRetry    = flag.Bool("no-retry", false, "submit once, count 429/503 as shed instead of retrying")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "overall load-run deadline")
+	)
+	flag.Parse()
+
+	cl := client.New(*addr)
+	cl.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	if *noRetry {
+		cl.MaxRetries = -1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		done      atomic.Int64
+		failed    atomic.Int64
+		cancelled atomic.Int64
+		shed      atomic.Int64
+		errs      atomic.Int64
+	)
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			wcl := *cl
+			wcl.Rand = rng
+			for i := range jobCh {
+				req := serve.JobRequest{
+					Family: *family, Alg: *alg,
+					Pairs: *pairs, Seed: *seed + int64(i),
+					Faults:    *faultSpec,
+					TimeoutMS: jobTimeout.Milliseconds(),
+				}
+				jobStart := time.Now()
+				st, err := wcl.Submit(ctx, req)
+				if err != nil {
+					if se, ok := err.(*client.StatusError); ok && se.Temporary() {
+						shed.Add(1)
+					} else {
+						errs.Add(1)
+						fmt.Fprintf(os.Stderr, "submit job %d: %v\n", i, err)
+					}
+					continue
+				}
+				st, err = wcl.Wait(ctx, st.ID)
+				if err != nil {
+					errs.Add(1)
+					fmt.Fprintf(os.Stderr, "wait job %s: %v\n", st.ID, err)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(jobStart))
+				mu.Unlock()
+				switch st.State {
+				case serve.StateDone:
+					done.Add(1)
+				case serve.StateCancelled:
+					cancelled.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < *n; i++ {
+		jobCh <- i
+	}
+	close(jobCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	completed := done.Load() + failed.Load() + cancelled.Load()
+	rps := float64(completed) / elapsed.Seconds()
+	fmt.Printf("jobs=%d done=%d failed=%d cancelled=%d shed429=%d errors=%d\n",
+		*n, done.Load(), failed.Load(), cancelled.Load(), shed.Load(), errs.Load())
+	fmt.Printf("p50=%.1fms p99=%.1fms rps=%.1f elapsed=%.2fs\n",
+		float64(quantile(0.50).Microseconds())/1000,
+		float64(quantile(0.99).Microseconds())/1000,
+		rps, elapsed.Seconds())
+	if errs.Load() > 0 {
+		os.Exit(1)
+	}
+}

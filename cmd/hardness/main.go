@@ -21,21 +21,31 @@
 //	hardness -certify dir-steiner -alg collect -pairs 8
 //
 // Certification runs accept a deterministic fault plan (-faults, see the
-// faults package for the format) and a wall-clock deadline (-timeout); an
-// interrupted sweep prints the partial report of the pairs certified so
-// far. The retransmitting collect stays exact under bounded drop rates:
+// faults package for the format), a wall-clock deadline (-timeout) and
+// SIGINT/SIGTERM; an interrupted sweep prints the partial report of the
+// pairs certified so far. The retransmitting collect stays exact under
+// bounded drop rates:
 //
 //	hardness -certify mds -alg collect-retry -faults drop=0.01,seed=7 -timeout 30s
+//
+// Serve mode runs the same pairings as a long-lived HTTP job service with
+// bounded concurrency, load shedding and graceful drain (see the serve
+// package):
+//
+//	hardness serve -addr :8080 -workers 2 -queue 16
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"congesthard/internal/aggregate"
@@ -47,7 +57,6 @@ import (
 	"congesthard/internal/constructions/kmdslb"
 	"congesthard/internal/constructions/maxcutlb"
 	"congesthard/internal/constructions/mdslb"
-	"congesthard/internal/constructions/mvclb"
 	"congesthard/internal/constructions/steinerlb"
 	"congesthard/internal/cover"
 	"congesthard/internal/faults"
@@ -56,6 +65,7 @@ import (
 	"congesthard/internal/limits"
 	"congesthard/internal/pls"
 	"congesthard/internal/reduction"
+	"congesthard/internal/serve"
 	"congesthard/internal/solver"
 )
 
@@ -65,6 +75,14 @@ import (
 var seed int64
 
 func main() {
+	// "hardness serve" is a subcommand with its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	experiment := flag.String("experiment", "all", "experiment id (E1..E18, see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
 	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', 'hamlb', 'dir-steiner', or 'list')")
@@ -75,7 +93,12 @@ func main() {
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
 	if *certify != "" {
-		if err := runCertify(*certify, *alg, *pairs, *faultSpec, *timeout); err != nil {
+		// Ctrl-C / SIGTERM cancels the sweep like -timeout does: the
+		// partial report of the pairs certified so far is printed and the
+		// process exits 1 (the interrupted-run exit-code contract).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runCertify(ctx, os.Stdout, *certify, *alg, *pairs, *faultSpec, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -87,165 +110,23 @@ func main() {
 	}
 }
 
-// certifyRunner executes one wired family/algorithm pairing under a
-// certification config — undirected pairings go through reduction.Certify,
-// directed ones through reduction.CertifyDigraph; the report shape is
-// shared.
-type certifyRunner func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error)
-
-// undirectedPairing adapts a Family + Algorithm builder to a certifyRunner.
-func undirectedPairing(build func() (lbfamily.Family, reduction.Algorithm, error)) func() (certifyRunner, error) {
-	return func() (certifyRunner, error) {
-		fam, alg, err := build()
-		if err != nil {
-			return nil, err
-		}
-		return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
-			return reduction.CertifyCtx(ctx, fam, alg, cfg)
-		}, nil
-	}
-}
-
-// directedPairing adapts a DigraphFamily + DigraphAlgorithm builder.
-func directedPairing(build func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error)) func() (certifyRunner, error) {
-	return func() (certifyRunner, error) {
-		fam, alg, err := build()
-		if err != nil {
-			return nil, err
-		}
-		return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
-			return reduction.CertifyDigraphCtx(ctx, fam, alg, cfg)
-		}, nil
-	}
-}
-
-// certifyPairings maps -certify/-alg to reduction pairings, at the same
-// k = 2 (resp. T = 4) parameterizations the exhaustive experiments use.
-func certifyPairings() (map[string]map[string]func() (certifyRunner, error), []string) {
-	pairings := map[string]map[string]func() (certifyRunner, error){
-		"mds": {
-			"collect": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
-				fam, err := mdslb.New(2)
-				if err != nil {
-					return nil, reduction.Algorithm{}, err
-				}
-				return fam, reduction.CollectMDS(fam), nil
-			}),
-			"greedy": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
-				fam, err := mdslb.New(2)
-				if err != nil {
-					return nil, reduction.Algorithm{}, err
-				}
-				return fam, reduction.GreedyMDS(fam), nil
-			}),
-			// collect-retry needs a wider bandwidth (three ARQ header bits
-			// per frame) and a larger round guard than the defaults, so it
-			// sizes the config from the family stats before certifying.
-			"collect-retry": func() (certifyRunner, error) {
-				fam, err := mdslb.New(2)
-				if err != nil {
-					return nil, err
-				}
-				stats, err := lbfamily.MeasureStats(fam)
-				if err != nil {
-					return nil, err
-				}
-				alg := reduction.CollectRetryMDS(fam)
-				return func(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
-					if cfg.Bandwidth == 0 {
-						cfg.Bandwidth = algorithms.CollectRetryMinBandwidth(stats.N)
-					}
-					if cfg.MaxRounds == 0 {
-						cfg.MaxRounds = algorithms.CollectRetryRoundsCap(stats.N)
-					}
-					return reduction.CertifyCtx(ctx, fam, alg, cfg)
-				}, nil
-			},
-		},
-		"mvc": {
-			"matching": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
-				fam, err := mvclb.New(2)
-				if err != nil {
-					return nil, reduction.Algorithm{}, err
-				}
-				return fam, reduction.MatchingMVC(fam), nil
-			}),
-		},
-		"maxcut": {
-			"sampled": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
-				fam, err := maxcutlb.New(2)
-				if err != nil {
-					return nil, reduction.Algorithm{}, err
-				}
-				a, err := reduction.SampledMaxCut(fam, 0.5)
-				return fam, a, err
-			}),
-			"exact": undirectedPairing(func() (lbfamily.Family, reduction.Algorithm, error) {
-				fam, err := maxcutlb.New(2)
-				if err != nil {
-					return nil, reduction.Algorithm{}, err
-				}
-				a, err := reduction.SampledMaxCut(fam, 1)
-				return fam, a, err
-			}),
-		},
-		"hamlb": {
-			"collect": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
-				fam, err := hamlb.New(2)
-				if err != nil {
-					return nil, reduction.DigraphAlgorithm{}, err
-				}
-				return fam, reduction.CollectHamPath(fam), nil
-			}),
-			"greedy-path": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
-				fam, err := hamlb.New(2)
-				if err != nil {
-					return nil, reduction.DigraphAlgorithm{}, err
-				}
-				return fam, reduction.GreedyHamPath(fam), nil
-			}),
-		},
-		"dir-steiner": {
-			"collect": directedPairing(func() (lbfamily.DigraphFamily, reduction.DigraphAlgorithm, error) {
-				p, err := kmdsParams()
-				if err != nil {
-					return nil, reduction.DigraphAlgorithm{}, err
-				}
-				fam, err := kmdslb.NewDirSteiner(p)
-				if err != nil {
-					return nil, reduction.DigraphAlgorithm{}, err
-				}
-				return fam, reduction.CollectDirSteiner(fam), nil
-			}),
-		},
-	}
-	var index []string
-	for famName, algs := range pairings {
-		for algName := range algs {
-			index = append(index, famName+"/"+algName)
-		}
-	}
-	sort.Strings(index)
-	return pairings, index
-}
-
-func runCertify(famName, algName string, pairs int, faultSpec string, timeout time.Duration) error {
-	pairings, index := certifyPairings()
+// runCertify resolves the family/algorithm pairing in the shared serve
+// registry (the CLI and the job server certify exactly the same wirings)
+// and runs one sweep under ctx, printing the report — partial if the
+// sweep was interrupted — to out.
+func runCertify(ctx context.Context, out io.Writer, famName, algName string, pairs int, faultSpec string, timeout time.Duration) error {
+	reg := serve.DefaultRegistry()
 	if famName == "list" {
-		for _, p := range index {
-			fmt.Println(p)
+		for _, p := range reg.List() {
+			fmt.Fprintln(out, p.Key())
 		}
 		return nil
 	}
-	algs, ok := pairings[famName]
+	pairing, ok := reg.Lookup(famName, algName)
 	if !ok {
-		return fmt.Errorf("unknown certify family %q (try -certify list)", famName)
+		return fmt.Errorf("unknown pairing %s/%s (try -certify list)", famName, algName)
 	}
-	build, ok := algs[algName]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q for family %q (try -certify list)", algName, famName)
-	}
-	run, err := build()
+	run, err := pairing.Build()
 	if err != nil {
 		return err
 	}
@@ -263,49 +144,48 @@ func runCertify(famName, algName string, pairs int, faultSpec string, timeout ti
 			plan.Seed = seed
 		}
 		cfg.Faults = plan
-		fmt.Printf("faults=%s\n", plan)
+		fmt.Fprintf(out, "faults=%s\n", plan)
 	}
-	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	fmt.Printf("seed=%d\n", seed)
+	fmt.Fprintf(out, "seed=%d\n", seed)
 	rep, err := run(ctx, cfg)
 	if rep != nil {
-		printCertifyReport(rep)
+		printCertifyReport(out, rep)
 	}
 	if err != nil {
 		if rep != nil {
-			fmt.Printf("  interrupted: %d of %d pairs certified (%v)\n", rep.Completed, rep.Total, err)
+			fmt.Fprintf(out, "  interrupted: %d of %d pairs certified (%v)\n", rep.Completed, rep.Total, err)
 		}
 		return err
 	}
 	return nil
 }
 
-func printCertifyReport(rep *reduction.Report) {
+func printCertifyReport(out io.Writer, rep *reduction.Report) {
 	mode := "exhaustive"
 	if !rep.Exhaustive {
 		mode = "sampled"
 	}
-	fmt.Printf("certify family=%s alg=%s exact=%v pairs=%d (%s)\n",
+	fmt.Fprintf(out, "certify family=%s alg=%s exact=%v pairs=%d (%s)\n",
 		rep.Family, rep.Algorithm, rep.Exact, len(rep.Pairs), mode)
-	fmt.Printf("  n=%d |E_cut|=%d K=%d B=%d\n",
+	fmt.Fprintf(out, "  n=%d |E_cut|=%d K=%d B=%d\n",
 		rep.Stats.N, rep.Stats.CutSize, rep.Stats.K, rep.Bandwidth)
 	if len(rep.Pairs) <= 16 {
 		for _, p := range rep.Pairs {
-			fmt.Printf("  (x=%s, y=%s) rounds=%-5d cut-bits=%-7d output=%-5v want=%-5v correct=%v\n",
+			fmt.Fprintf(out, "  (x=%s, y=%s) rounds=%-5d cut-bits=%-7d output=%-5v want=%-5v correct=%v\n",
 				p.X, p.Y, p.Rounds, p.CutBits, p.Output, p.Want, p.Correct)
 		}
 	}
-	fmt.Printf("  correct %d/%d, mismatches %d", len(rep.Pairs)-rep.Mismatches, len(rep.Pairs), rep.Mismatches)
+	fmt.Fprintf(out, "  correct %d/%d, mismatches %d", len(rep.Pairs)-rep.Mismatches, len(rep.Pairs), rep.Mismatches)
 	if rep.Mismatches > 0 && !rep.Exact {
-		fmt.Printf(" (approximate baseline: flagged as not deciding P)")
+		fmt.Fprintf(out, " (approximate baseline: flagged as not deciding P)")
 	}
-	fmt.Println()
-	fmt.Printf("  rounds max=%d, cut-bits max=%d; Theorem 1.1 budget 2*T*B*|E_cut| = %d >= CC(f) = %.0f: %v\n",
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  rounds max=%d, cut-bits max=%d; Theorem 1.1 budget 2*T*B*|E_cut| = %d >= CC(f) = %.0f: %v\n",
 		rep.MaxRounds, rep.MaxCutBits, rep.SimBits, rep.CCBound, float64(rep.SimBits) >= rep.CCBound)
 }
 

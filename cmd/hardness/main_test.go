@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"congesthard/internal/serve"
+)
+
+// TestRunCertifyCancelledContext: an already-cancelled context interrupts
+// the sweep immediately, printing the partial report's "interrupted: N of
+// M" line and returning an error (which main turns into exit 1) — the
+// same contract as -timeout.
+func TestRunCertifyCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := runCertify(ctx, &buf, "mds", "greedy", 8, "", 0)
+	if err == nil {
+		t.Fatal("cancelled certify returned nil error")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "interrupted: 0 of 8 pairs certified") {
+		t.Fatalf("missing interrupted line in output:\n%s", out)
+	}
+}
+
+// TestRunCertifySignalInterrupt wires runCertify behind
+// signal.NotifyContext exactly as main does and delivers a real SIGINT to
+// the test process mid-sweep: the run must stop with a partial report
+// instead of killing the process or hanging.
+func TestRunCertifySignalInterrupt(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		syscall.Kill(os.Getpid(), syscall.SIGINT)
+	}()
+	var buf bytes.Buffer
+	// Sampling is capped at the 2^(2K) = 256-pair cube, and 256
+	// collect-retry pairs (each a full ARQ collect run) is well over
+	// 100ms of work, so the 20ms signal always lands mid-sweep.
+	start := time.Now()
+	err := runCertify(ctx, &buf, "mds", "collect-retry", 4096, "", 0)
+	if err == nil {
+		t.Fatalf("signal-interrupted certify returned nil after %v; output:\n%s", time.Since(start), buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "interrupted:") || !strings.Contains(out, "of 256 pairs certified") {
+		t.Fatalf("missing partial-report interrupted line:\n%s", out)
+	}
+}
+
+// TestRunCertifyListMatchesRegistry: -certify list prints exactly the
+// shared registry's pairings, keeping the CLI and the job server wired to
+// the same set.
+func TestRunCertifyListMatchesRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCertify(context.Background(), &buf, "list", "", 0, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Fields(strings.TrimSpace(buf.String()))
+	reg := serve.DefaultRegistry().List()
+	if len(got) != len(reg) {
+		t.Fatalf("list printed %d pairings, registry has %d:\n%s", len(got), len(reg), buf.String())
+	}
+	for i, p := range reg {
+		if got[i] != p.Key() {
+			t.Fatalf("list line %d = %q, want %q", i, got[i], p.Key())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"congesthard/internal/serve"
+)
+
+// runServe runs the hardness job server until SIGINT/SIGTERM, then drains:
+// readiness flips to 503, in-flight and queued jobs get until
+// -drain-timeout to finish (past it they are cancelled with partial
+// reports), and the process exits 0 — the clean-shutdown contract the
+// deployment layer (and the CI smoke job) relies on.
+func runServe(argv []string) error {
+	fs := flag.NewFlagSet("hardness serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrent certification sweeps")
+	queueDepth := fs.Int("queue", 16, "submission queue bound; a full queue sheds with 429 + Retry-After")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "grace period for in-flight jobs on shutdown")
+	defaultTimeout := fs.Duration("default-timeout", 30*time.Second, "per-job deadline when the submission picks none")
+	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on the per-job deadline a submission may request")
+	cacheSize := fs.Int("cache", 16, "LRU capacity for built family bases")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+	}, nil)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("hardness serve listening on %s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queueDepth)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+	}
+
+	// Drain while still serving HTTP, so status polls and readyz answer
+	// during the grace period; only then shut the listener down.
+	fmt.Println("draining: readiness down, finishing in-flight jobs")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	clean := srv.Drain(dctx)
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelShut()
+	httpSrv.Shutdown(shutCtx)
+	if clean {
+		fmt.Println("drained cleanly")
+	} else {
+		fmt.Println("drain deadline hit: remaining jobs cancelled with partial reports")
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -71,6 +72,49 @@ func TestCollectRetryExactUnderDrops(t *testing.T) {
 		if got := runCollectRetry(t, g, reconstructSpec(g.Signature()), plan); got != 1 {
 			t.Errorf("plan %s: collect-retry lost records (total %d)", plan, got)
 		}
+	}
+}
+
+func TestCollectRetryTotalBlackoutExhaustsBudget(t *testing.T) {
+	// drop=1 is the total-blackout adversary: no message is ever
+	// delivered, so no ARQ stream makes progress and the nodes retransmit
+	// for their entire retry budget. Two guarantees matter: a MaxRounds
+	// guard below the retry budget fires as the clean typed budget error
+	// (every node still live, deterministically), and a run granted the
+	// full budget still terminates on its own — either way, no hang.
+	g := graph.Path(6)
+	plan := &faults.Plan{Seed: 3, DropProb: 1}
+	bw := CollectRetryMinBandwidth(g.N())
+	factory, budget, err := CollectRetryFactory(g, bw, reconstructSpec(g.Signature()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := budget / 2
+	run := func() error {
+		_, err := congest.Run(g, factory, congest.Options{BandwidthBits: bw, MaxRounds: guard, Faults: plan})
+		return err
+	}
+	err = run()
+	var rerr *congest.RoundsError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("total blackout returned %v, want a *congest.RoundsError", err)
+	}
+	if rerr.Limit != guard || rerr.Live != g.N() {
+		t.Errorf("RoundsError = %+v, want limit %d with all %d nodes live", rerr, guard, g.N())
+	}
+	if again := run(); again == nil || again.Error() != err.Error() {
+		t.Errorf("blackout replay diverged: %v vs %v", err, again)
+	}
+
+	res, err := congest.Run(g, factory, congest.Options{BandwidthBits: bw, MaxRounds: budget + 2, Faults: plan})
+	if err != nil {
+		t.Fatalf("full-budget blackout run: %v", err)
+	}
+	if res.Rounds != budget+1 {
+		t.Errorf("full-budget blackout ran %d rounds, want the baked-in budget %d+1", res.Rounds, budget)
+	}
+	if total, err := CollectTotal(res); err != nil || total != 0 {
+		t.Errorf("blackout roots reconstructed the graph (total %d, err %v), want 0", total, err)
 	}
 }
 

@@ -195,6 +195,40 @@ func (b Bits) String() string {
 	return sb.String()
 }
 
+// ParseBits parses the LSB-first String rendering, e.g. "1010".
+func ParseBits(s string) (Bits, error) {
+	b := NewBits(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			b.Set(i, true)
+		default:
+			return Bits{}, fmt.Errorf("bit string %q has non-binary byte %q at %d", s, s[i], i)
+		}
+	}
+	return b, nil
+}
+
+// MarshalJSON renders the bit string as its LSB-first String form, so
+// reports carrying input pairs serialize readably over the job API.
+func (b Bits) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + b.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the String form produced by MarshalJSON.
+func (b *Bits) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("bit string JSON %s is not a string", data)
+	}
+	parsed, err := ParseBits(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*b = parsed
+	return nil
+}
+
 // AllBits enumerates every bit string of length n (2^n strings) and calls
 // fn on each. It returns an error for n > 24 to prevent accidental blowups.
 func AllBits(n int, fn func(Bits)) error {

@@ -413,28 +413,42 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	return &Result{Metrics: metrics, Outputs: outputs}, nil
 }
 
-// RoundsExceededError builds the MaxRounds-exhausted error from the
+// RoundsError is the MaxRounds-exhausted failure: the simulation ran its
+// full round budget with nodes still live. It is a typed error so callers
+// (the retry budget tests, the serving layer) can distinguish an exhausted
+// budget from a broken run with errors.As instead of matching messages.
+type RoundsError struct {
+	Limit int   // the executed round limit
+	Live  int   // nodes still running when the limit hit
+	N     int   // network size
+	First []int // the first few still-running node ids
+}
+
+func (e *RoundsError) Error() string {
+	suffix := ""
+	if e.Live > len(e.First) {
+		suffix = ", ..."
+	}
+	return fmt.Sprintf("simulation exceeded %d rounds with %d of %d nodes still running (nodes %v%s)",
+		e.Limit, e.Live, e.N, e.First, suffix)
+}
+
+// RoundsExceededError builds the MaxRounds-exhausted *RoundsError from the
 // done markers, naming how many nodes are still running and the first few
 // of their ids, so runaway programs are diagnosable instead of just "too
 // many rounds". Shared by both simulators (package dicongest reuses it).
 func RoundsExceededError(limit int, done []bool) error {
-	live := 0
-	var first []int
+	e := &RoundsError{Limit: limit, N: len(done)}
 	for v, d := range done {
 		if d {
 			continue
 		}
-		live++
-		if len(first) < 4 {
-			first = append(first, v)
+		e.Live++
+		if len(e.First) < 4 {
+			e.First = append(e.First, v)
 		}
 	}
-	suffix := ""
-	if live > len(first) {
-		suffix = ", ..."
-	}
-	return fmt.Errorf("simulation exceeded %d rounds with %d of %d nodes still running (nodes %v%s)",
-		limit, live, len(done), first, suffix)
+	return e
 }
 
 // FuncNode adapts a pair of closures to the Node interface, for small

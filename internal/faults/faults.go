@@ -53,7 +53,10 @@ type Plan struct {
 	// Seed drives every probabilistic decision (drops, delays).
 	Seed int64
 	// DropProb drops each message independently with this probability,
-	// decided by a hash of (Seed, round, from, to). Must be in [0, 1).
+	// decided by a hash of (Seed, round, from, to). Must be in the closed
+	// interval [0, 1]: DropProb == 1 is the total-blackout adversary that
+	// loses every message, a legitimate plan for testing that retry
+	// budgets exhaust gracefully instead of hanging.
 	DropProb float64
 	// DropBudget is the adversarial variant: the first DropBudget
 	// messages on every directed link are dropped (0 disables).
@@ -70,8 +73,8 @@ type Plan struct {
 
 // Validate checks the plan against an n-vertex network.
 func (p *Plan) Validate(n int) error {
-	if p.DropProb < 0 || p.DropProb >= 1 {
-		return fmt.Errorf("drop probability %v out of [0,1)", p.DropProb)
+	if p.DropProb < 0 || p.DropProb > 1 || math.IsNaN(p.DropProb) {
+		return fmt.Errorf("drop probability %v out of [0,1]", p.DropProb)
 	}
 	if p.DropBudget < 0 {
 		return fmt.Errorf("negative drop budget %d", p.DropBudget)
@@ -136,8 +139,8 @@ func Parse(s string) (*Plan, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fault plan drop %q: %v", val, err)
 			}
-			if v < 0 || v >= 1 {
-				return nil, fmt.Errorf("fault plan drop probability %v out of [0,1)", v)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return nil, fmt.Errorf("fault plan drop probability %v out of [0,1]", v)
 			}
 			p.DropProb = v
 		case "budget":
@@ -251,6 +254,7 @@ const noFail = int32(math.MaxInt32)
 type Injector struct {
 	seed          uint64
 	dropThreshold uint64 // 0 disables probabilistic drops
+	dropAll       bool   // DropProb == 1: the total blackout
 	dropBudget    int32
 	maxDelay      int
 
@@ -278,13 +282,12 @@ func NewInjector(plan *Plan, n, slots int) (*Injector, error) {
 		slotUsed:   make([]int32, slots),
 		slotLast:   make([]int32, slots),
 	}
-	if plan.DropProb > 0 {
-		t := plan.DropProb * float64(math.MaxUint64)
-		if t >= float64(math.MaxUint64) {
-			in.dropThreshold = math.MaxUint64
-		} else {
-			in.dropThreshold = uint64(t)
-		}
+	if plan.DropProb >= 1 {
+		// The coin comparison is strict, so even a MaxUint64 threshold
+		// would leak one message in 2^64; total blackout is exact instead.
+		in.dropAll = true
+	} else if plan.DropProb > 0 {
+		in.dropThreshold = uint64(plan.DropProb * float64(math.MaxUint64))
 	}
 	for v := range in.crashAt {
 		in.crashAt[v] = noCrash
@@ -345,7 +348,7 @@ func (in *Injector) RingDepth() int { return in.maxDelay + 2 }
 // slot's own message history, so identical runs replay identically.
 // Allocation-free.
 func (in *Injector) DeliverAt(round, from, to int, slot int32) (int, bool) {
-	if in.slotFailAt[slot] <= int32(round) {
+	if in.dropAll || in.slotFailAt[slot] <= int32(round) {
 		return 0, false
 	}
 	if in.slotUsed[slot] < in.dropBudget {

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -9,6 +10,7 @@ func TestParseRoundTrip(t *testing.T) {
 	cases := []string{
 		"seed=7",
 		"seed=7,drop=0.01",
+		"seed=7,drop=1",
 		"seed=3,drop=0.25,budget=2,delay=4",
 		"seed=0,crash=4@10",
 		"seed=0,crash=1@0,crash=4@10,fail=1-2@5,fail=3-7@0",
@@ -34,7 +36,8 @@ func TestParseRoundTrip(t *testing.T) {
 func TestParseRejectsBadInput(t *testing.T) {
 	for _, s := range []string{
 		"drop",            // not key=value
-		"drop=1",          // probability must be < 1
+		"drop=1.5",        // probability above 1
+		"drop=nan",        // NaN slips every range comparison
 		"drop=-0.5",       // negative probability
 		"budget=-1",       // negative budget
 		"delay=99999",     // above MaxDelayLimit
@@ -60,16 +63,30 @@ func TestValidateRanges(t *testing.T) {
 		{"negative crash round", Plan{Crashes: []Crash{{Node: 1, Round: -1}}}},
 		{"fail endpoint out of range", Plan{LinkFailures: []LinkFailure{{U: 0, V: 8, Round: 0}}}},
 		{"self link", Plan{LinkFailures: []LinkFailure{{U: 3, V: 3, Round: 0}}}},
-		{"drop prob one", Plan{DropProb: 1}},
+		{"drop prob above one", Plan{DropProb: 1.5}},
+		{"drop prob NaN", Plan{DropProb: math.NaN()}},
 	} {
 		if err := tc.plan.Validate(8); err == nil {
 			t.Errorf("%s: Validate accepted %+v", tc.name, tc.plan)
 		}
 	}
-	good := Plan{Seed: 1, DropProb: 0.5, DropBudget: 3, MaxDelay: 2,
-		Crashes: []Crash{{Node: 7, Round: 0}}, LinkFailures: []LinkFailure{{U: 0, V: 7, Round: 4}}}
-	if err := good.Validate(8); err != nil {
-		t.Errorf("Validate rejected a good plan: %v", err)
+	for _, good := range []Plan{
+		{Seed: 1, DropProb: 0.5, DropBudget: 3, MaxDelay: 2,
+			Crashes: []Crash{{Node: 7, Round: 0}}, LinkFailures: []LinkFailure{{U: 0, V: 7, Round: 4}}},
+		{DropProb: 1}, // total blackout is a legitimate adversarial plan
+	} {
+		if err := good.Validate(8); err != nil {
+			t.Errorf("Validate rejected a good plan %+v: %v", good, err)
+		}
+	}
+}
+
+func TestTotalBlackoutDropsEverything(t *testing.T) {
+	in := compile(t, &Plan{Seed: 5, DropProb: 1})
+	for round := 0; round < 1000; round++ {
+		if _, ok := in.DeliverAt(round, 0, 1, 0); ok {
+			t.Fatalf("round %d: drop=1 delivered a message", round)
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParse fuzzes the CLI fault-plan syntax for the round-trip contract:
+// whatever Parse accepts must re-render (String) into its canonical form,
+// and that canonical form must parse again to the same plan — i.e.
+// parse -> string -> parse is the identity on canonical strings. Rejected
+// inputs must fail with an error, never a panic. This is the property the
+// server relies on when echoing a job's fault plan back to clients.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7",
+		"drop=0.01,seed=7,delay=2,crash=3@0,fail=1-2@5",
+		"drop=1",
+		"drop=0.9999999999999999",
+		"budget=3,delay=1024",
+		"crash=0@0,crash=0@0",
+		"fail=2-1@3,fail=1-2@5",
+		"seed=-9223372036854775808",
+		"drop=nan",
+		"drop=+Inf",
+		" drop = 0.5 ",
+		"seed=1,,seed=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected without panicking is all we ask of garbage
+		}
+		canon := p.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its canonical form %q does not reparse: %v", s, canon, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("round-trip not a fixed point: Parse(%q) -> %q -> %q", s, canon, got)
+		}
+		// The canonical form must stay inside the validated ranges the
+		// original parse enforced (n-independent ones).
+		if again.DropProb < 0 || again.DropProb > 1 {
+			t.Fatalf("reparsed drop probability %v escaped [0,1] from input %q", again.DropProb, s)
+		}
+		if again.MaxDelay < 0 || again.MaxDelay > MaxDelayLimit {
+			t.Fatalf("reparsed delay %v escaped [0,%d] from input %q", again.MaxDelay, MaxDelayLimit, s)
+		}
+	})
+}

@@ -123,6 +123,9 @@ func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg Digr
 			return err
 		}
 		completed++
+		if cfg.Progress != nil {
+			cfg.Progress(completed, report.Total)
+		}
 		return nil
 	}
 

@@ -67,6 +67,11 @@ type Config struct {
 	// budget into their programs — see algorithms.CollectRetryRoundsCap
 	// for the collect-retry value.
 	MaxRounds int
+	// Progress, if non-nil, is called after every certified pair with the
+	// completed and total pair counts — the hook the serving layer uses
+	// to poll and stream per-pair job progress. It is called on the sweep
+	// goroutine; keep it cheap and non-blocking.
+	Progress func(completed, total int)
 }
 
 // PairReport is the measured outcome of one (x, y) certification run.
@@ -205,6 +210,9 @@ func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Con
 			return err
 		}
 		completed++
+		if cfg.Progress != nil {
+			cfg.Progress(completed, report.Total)
+		}
 		return nil
 	}
 

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// baseCache is a small LRU of built family bases (Runners) guarded by
+// singleflight: concurrent gets for the same key wait on one build instead
+// of each rebuilding the family (the Section 4 families run a randomized
+// covering-collection search on build, which is exactly the work a
+// thundering herd of identical submissions would multiply). Failed builds
+// are not cached — the entry is dropped so a later submission retries.
+type baseCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	elem *list.Element
+
+	// ready is closed by the building goroutine once runner/err are set;
+	// waiters block on it outside the cache lock.
+	ready  chan struct{}
+	runner Runner
+	err    error
+}
+
+func newBaseCache(capacity int) *baseCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &baseCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached Runner for key, building it with build on a miss.
+// Exactly one caller builds; the rest wait for that build's outcome.
+func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.runner, e.err
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	// Evict from the cold end past capacity. An in-flight entry may be
+	// evicted; its waiters hold the entry pointer directly, so they still
+	// observe the build outcome — the cache just forgets it.
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		victim := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, victim.key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.runner, e.err = nil, fmt.Errorf("family build panicked: %v", r)
+			}
+		}()
+		e.runner, e.err = build()
+	}()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.order.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.runner, e.err
+}
+
+// stats returns a snapshot of hit/miss/eviction counters and current size.
+func (c *baseCache) stats() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, len(c.entries)
+}

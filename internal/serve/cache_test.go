@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"congesthard/internal/reduction"
+)
+
+func noopRunner(ctx context.Context, cfg reduction.Config) (*reduction.Report, error) {
+	return &reduction.Report{}, nil
+}
+
+// TestCacheSingleflight: a herd of concurrent gets for one key builds once.
+func TestCacheSingleflight(t *testing.T) {
+	c := newBaseCache(4)
+	var builds atomic.Int64
+	build := func() (Runner, error) {
+		builds.Add(1)
+		time.Sleep(20 * time.Millisecond) // hold the herd inside the flight
+		return noopRunner, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.get("k", build)
+			if err != nil || r == nil {
+				t.Errorf("get: runner=%v err=%v", r, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("herd of 16 triggered %d builds, want 1", n)
+	}
+	hits, misses, _, size := c.stats()
+	if misses != 1 || hits != 15 || size != 1 {
+		t.Fatalf("stats hits=%d misses=%d size=%d, want 15/1/1", hits, misses, size)
+	}
+}
+
+// TestCacheLRUEviction: capacity bounds residency and evicts the cold end.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newBaseCache(2)
+	var builds atomic.Int64
+	build := func() (Runner, error) { builds.Add(1); return noopRunner, nil }
+	for _, k := range []string{"a", "b", "a", "c"} { // c evicts b (a was touched)
+		if _, err := c.get(k, build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := builds.Load(); n != 3 {
+		t.Fatalf("builds=%d, want 3 (a, b, c)", n)
+	}
+	c.get("a", build) // still resident
+	if n := builds.Load(); n != 3 {
+		t.Fatalf("a was evicted: builds=%d", n)
+	}
+	c.get("b", build) // evicted, rebuilds
+	if n := builds.Load(); n != 4 {
+		t.Fatalf("b not rebuilt: builds=%d", n)
+	}
+	_, _, evictions, size := c.stats()
+	if evictions < 2 || size > 2 {
+		t.Fatalf("evictions=%d size=%d, want >=2 and <=2", evictions, size)
+	}
+}
+
+// TestCacheBuildErrorNotCached: a failed build is retried, not pinned.
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	c := newBaseCache(4)
+	var builds atomic.Int64
+	build := func() (Runner, error) {
+		if builds.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return noopRunner, nil
+	}
+	if _, err := c.get("k", build); err == nil {
+		t.Fatal("first build should fail")
+	}
+	r, err := c.get("k", build)
+	if err != nil || r == nil {
+		t.Fatalf("retry after failed build: runner=%v err=%v", r, err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("builds=%d, want 2 (error not cached)", n)
+	}
+}
+
+// TestCacheBuildPanicConfined: a panicking builder fails the get with an
+// error instead of killing the goroutine, and later gets retry.
+func TestCacheBuildPanicConfined(t *testing.T) {
+	c := newBaseCache(4)
+	calls := 0
+	build := func() (Runner, error) {
+		calls++
+		if calls == 1 {
+			panic(fmt.Sprintf("boom %d", calls))
+		}
+		return noopRunner, nil
+	}
+	_, err := c.get("k", build)
+	if err == nil {
+		t.Fatal("panicking build should surface an error")
+	}
+	if _, err := c.get("k", build); err != nil {
+		t.Fatalf("retry after panicked build: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package client is the Go client for the hardness job server: submit
+// certification jobs, poll status, wait for completion and fetch reports,
+// with retry + exponential backoff + jitter that honors the server's
+// Retry-After load-shedding hint. cmd/hardload drives it as a load
+// generator; tests drive it against httptest servers.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"congesthard/internal/reduction"
+	"congesthard/internal/serve"
+)
+
+// Client talks to one hardness server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds submission retries on 429/503/transport errors
+	// (default 5). Set -1 to disable retrying entirely.
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 50ms); it doubles per
+	// attempt with ±50% jitter up to MaxBackoff, and a server Retry-After
+	// hint overrides the computed delay when larger.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Rand supplies jitter; defaults to the global source.
+	Rand *rand.Rand
+}
+
+// New returns a client for baseURL with default retry policy.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.MaxRetries == -1 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 5
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) jitter(d time.Duration) time.Duration {
+	var f float64
+	if c.Rand != nil {
+		f = c.Rand.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	// ±50% jitter decorrelates the herd that was just shed together.
+	return d/2 + time.Duration(f*float64(d))
+}
+
+// StatusError is a non-2xx server response.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+// Temporary reports whether the request may succeed if retried.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+func decodeError(resp *http.Response) *StatusError {
+	se := &StatusError{Code: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		se.Message = body.Error
+	} else {
+		se.Message = strings.TrimSpace(string(raw))
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
+// do issues one request and decodes a 2xx JSON body into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// doRetry wraps do with exponential backoff + jitter on shed (429), drain
+// (503) and transport errors, honoring a Retry-After hint when it exceeds
+// the computed backoff.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	backoff := c.BaseBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		delay := c.jitter(backoff)
+		if se, ok := err.(*StatusError); ok {
+			if !se.Temporary() {
+				return err
+			}
+			if se.RetryAfter > delay {
+				delay = se.RetryAfter
+			}
+		}
+		if attempt >= c.retries() {
+			return err
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// Pairings lists the server's registered family/algorithm pairings.
+func (c *Client) Pairings(ctx context.Context) ([]serve.PairingInfo, error) {
+	var out struct {
+		Pairings []serve.PairingInfo `json:"pairings"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/pairings", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Pairings, nil
+}
+
+// Stats fetches the server's counters snapshot.
+func (c *Client) Stats(ctx context.Context) (*serve.Stats, error) {
+	var out serve.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit submits a job, retrying shed (429) and drain (503) responses per
+// the client's retry policy. The returned status carries the job ID.
+func (c *Client) Submit(ctx context.Context, req serve.JobRequest) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitOnce submits without retrying — the load generator's no-retry mode,
+// used to observe shedding directly.
+func (c *Client) SubmitOnce(ctx context.Context, req serve.JobRequest) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == serve.StateDone || state == serve.StateFailed || state == serve.StateCancelled
+}
+
+// Wait polls until the job reaches a terminal state or ctx fires.
+func (c *Client) Wait(ctx context.Context, id string) (*serve.JobStatus, error) {
+	delay := 10 * time.Millisecond
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(delay):
+			if delay < 200*time.Millisecond {
+				delay *= 2
+			}
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Report fetches the finalized report of a terminal job, alongside its
+// status (which carries the structured error for failed jobs).
+func (c *Client) Report(ctx context.Context, id string) (*serve.JobStatus, *reduction.Report, error) {
+	var out struct {
+		Status serve.JobStatus   `json:"status"`
+		Report *reduction.Report `json:"report"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return &out.Status, out.Report, nil
+}

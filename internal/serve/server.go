@@ -1,0 +1,638 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"congesthard/internal/faults"
+	"congesthard/internal/lbfamily"
+	"congesthard/internal/reduction"
+)
+
+// Config tunes the job server. The zero value is usable: New fills every
+// field with the defaults below.
+type Config struct {
+	// Workers is the size of the worker pool (default 2): the number of
+	// certification sweeps running concurrently.
+	Workers int
+	// QueueDepth bounds the submission queue (default 16). When the queue
+	// is full, submissions are shed with 429 + Retry-After.
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline applied when a submission
+	// does not choose one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-job deadline a submission may request
+	// (default 2m).
+	MaxTimeout time.Duration
+	// CacheSize bounds the LRU of built family bases (default 16).
+	CacheSize int
+	// RetryAfter is the hint returned with shed submissions (default 1s).
+	RetryAfter time.Duration
+	// MaxPairs caps the sampled pair count a submission may request
+	// (default 4096, the exhaustive sweep's own worst case).
+	MaxPairs int
+	// MaxJobs bounds the finished-job history kept for report fetches
+	// (default 256); the oldest finished jobs are forgotten past it.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 4096
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	return c
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"      // sweep completed, report finalized
+	StateFailed    = "failed"    // structured error (panic, deadline, build, run)
+	StateCancelled = "cancelled" // cancelled by drain before/while running
+)
+
+// Error kinds attached to failed jobs.
+const (
+	KindPanic    = "panic"    // a pair's predicate or algorithm panicked
+	KindDeadline = "deadline" // the job's own deadline fired mid-sweep
+	KindDrain    = "drain"    // the server drain cancelled the job
+	KindBuild    = "build"    // the family base failed to build
+	KindRun      = "run"      // the sweep returned a non-cancellation error
+)
+
+// JobRequest is the submission body for POST /v1/jobs.
+type JobRequest struct {
+	Family string `json:"family"`
+	Alg    string `json:"alg"`
+	// Pairs > 0 samples that many (x, y) pairs; 0 certifies exhaustively.
+	Pairs int   `json:"pairs,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// Bandwidth and MaxRounds override the simulator defaults (0 keeps them).
+	Bandwidth int `json:"bandwidth,omitempty"`
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Faults is a fault-plan in the CLI syntax, e.g. "drop=0.01,seed=7".
+	Faults string `json:"faults,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (0 selects the
+	// server default; values above the server max are clamped).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TranscriptChecks replays that many pairs through the Theorem 1.1
+	// simulation-invariant check.
+	TranscriptChecks int `json:"transcript_checks,omitempty"`
+}
+
+// JobStatus is the poll/stream view of a job.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Family    string `json:"family"`
+	Alg       string `json:"alg"`
+	State     string `json:"state"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+	// Mismatches is meaningful once State == done.
+	Mismatches int    `json:"mismatches,omitempty"`
+	Error      string `json:"error,omitempty"`
+	ErrorKind  string `json:"error_kind,omitempty"`
+	QueueMS    int64  `json:"queue_ms"`
+	RunMS      int64  `json:"run_ms"`
+}
+
+// PairingInfo is the listing view of a registry pairing.
+type PairingInfo struct {
+	Family   string `json:"family"`
+	Alg      string `json:"alg"`
+	Params   string `json:"params"`
+	Directed bool   `json:"directed"`
+	Exact    bool   `json:"exact"`
+}
+
+// Stats is the GET /v1/stats snapshot.
+type Stats struct {
+	Submitted      int64 `json:"submitted"`
+	Shed           int64 `json:"shed"`
+	Done           int64 `json:"done"`
+	Failed         int64 `json:"failed"`
+	Cancelled      int64 `json:"cancelled"`
+	Active         int64 `json:"active"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int   `json:"cache_size"`
+	Draining       bool  `json:"draining"`
+}
+
+type job struct {
+	id      string
+	pairing Pairing
+	req     JobRequest
+	timeout time.Duration
+	plan    *faults.Plan
+
+	created time.Time
+
+	// completed/total are written by the Progress hook on the sweep
+	// goroutine and read by poll/stream handlers.
+	completed atomic.Int64
+	total     atomic.Int64
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	report   *reduction.Report
+	errMsg   string
+	errKind  string
+
+	done chan struct{} // closed when the job reaches a terminal state
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:        j.id,
+		Family:    j.pairing.Family,
+		Alg:       j.pairing.Alg,
+		State:     j.state,
+		Completed: int(j.completed.Load()),
+		Total:     int(j.total.Load()),
+		Error:     j.errMsg,
+		ErrorKind: j.errKind,
+	}
+	if j.state == StateDone && j.report != nil {
+		s.Mismatches = j.report.Mismatches
+	}
+	if !j.started.IsZero() {
+		s.QueueMS = j.started.Sub(j.created).Milliseconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		s.RunMS = end.Sub(j.started).Milliseconds()
+	}
+	return s
+}
+
+// Server is the hardness job server. Create with New, expose via Handler,
+// shut down with Drain.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *baseCache
+	mux   *http.ServeMux
+
+	queue chan *job
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for history trimming
+
+	seq      atomic.Uint64
+	active   atomic.Int64 // queued + running jobs
+	draining atomic.Bool
+
+	submitted, shed, nDone, nFailed, nCancelled atomic.Int64
+
+	// jobCtx parents every job's deadline context; jobCancel is the drain
+	// deadline's force-cancel switch.
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+
+	workerWG sync.WaitGroup
+	stopCh   chan struct{} // closed to stop idle workers after drain
+}
+
+// New starts a server with cfg.Workers workers consuming the queue.
+func New(cfg Config, reg *Registry) *Server {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     newBaseCache(cfg.CacheSize),
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+		jobCtx:    ctx,
+		jobCancel: cancel,
+		stopCh:    make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/pairings", s.handlePairings)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain performs a graceful shutdown: readiness flips, new submissions are
+// rejected with 503, and queued plus running jobs are given until ctx to
+// finish. When ctx fires first, the remaining jobs are force-cancelled
+// (each fails with a partial report and a drain/deadline error) and Drain
+// still waits for the workers to confirm. The returned bool reports
+// whether the drain completed without force-cancelling.
+func (s *Server) Drain(ctx context.Context) bool {
+	s.draining.Store(true)
+	clean := true
+	// Jobs drain through the workers even after force-cancel (a cancelled
+	// job context makes the sweep return at its next pair), so active
+	// reaches zero in bounded time either way. The force-cancel happens
+	// inline, strictly after clean flips, so the return value reflects
+	// whether the deadline actually bit.
+	for s.active.Load() > 0 {
+		if ctx.Err() != nil && clean {
+			clean = false
+			s.jobCancel()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(s.stopCh)
+	s.workerWG.Wait()
+	s.jobCancel()
+	return clean
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.stopCh:
+			// Drain only closes stopCh once active == 0, so nothing is
+			// left in the queue by the time a worker exits.
+			return
+		}
+	}
+}
+
+// run executes one job with its own deadline, confining panics and
+// classifying cancellation causes.
+func (s *Server) run(j *job) {
+	defer s.active.Add(-1)
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(s.jobCtx, j.timeout)
+	defer cancel()
+
+	report, err := s.execute(ctx, j)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.report = report
+	if report != nil {
+		j.completed.Store(int64(report.Completed))
+		j.total.Store(int64(report.Total))
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.nDone.Add(1)
+	default:
+		j.errMsg = err.Error()
+		j.state, j.errKind = classify(err, ctx, s.jobCtx)
+		if j.state == StateCancelled {
+			s.nCancelled.Add(1)
+		} else {
+			s.nFailed.Add(1)
+		}
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// execute resolves the job's Runner through the base cache and runs the
+// sweep, converting any panic that escapes (from a family builder or the
+// sweep setup — per-pair panics are already confined by CertifyCtx) into
+// an error instead of crashing the worker.
+func (s *Server) execute(ctx context.Context, j *job) (report *reduction.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked outside the sweep: %v", r)
+		}
+	}()
+	runner, err := s.cache.get(j.pairing.CacheKey(), j.pairing.Build)
+	if err != nil {
+		return nil, buildError{err}
+	}
+	cfg := reduction.Config{
+		Pairs:            j.req.Pairs,
+		Seed:             j.req.Seed,
+		Bandwidth:        j.req.Bandwidth,
+		MaxRounds:        j.req.MaxRounds,
+		TranscriptChecks: j.req.TranscriptChecks,
+		Faults:           j.plan,
+		Progress: func(completed, total int) {
+			j.completed.Store(int64(completed))
+			j.total.Store(int64(total))
+		},
+	}
+	return runner(ctx, cfg)
+}
+
+// buildError marks family-build failures for classification.
+type buildError struct{ err error }
+
+func (e buildError) Error() string { return "family build: " + e.err.Error() }
+func (e buildError) Unwrap() error { return e.err }
+
+// classify maps a job error to (state, kind). Cancellation is split by
+// cause: the job's own deadline (deadline), the server drain (drain), a
+// confined pair panic (panic).
+func classify(err error, jobCtx, serverCtx context.Context) (state, kind string) {
+	var pe *lbfamily.PanicError
+	if errors.As(err, &pe) {
+		return StateFailed, KindPanic
+	}
+	var be buildError
+	if errors.As(err, &be) {
+		return StateFailed, KindBuild
+	}
+	var ce *lbfamily.CancelledError
+	if errors.As(err, &ce) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if serverCtx.Err() != nil {
+			return StateCancelled, KindDrain
+		}
+		if errors.Is(jobCtx.Err(), context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			return StateFailed, KindDeadline
+		}
+		return StateCancelled, KindDrain
+	}
+	return StateFailed, KindRun
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.List()
+	out := make([]PairingInfo, len(list))
+	for i, p := range list {
+		out[i] = PairingInfo{Family: p.Family, Alg: p.Alg, Params: p.Params, Directed: p.Directed, Exact: p.Exact}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pairings": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions, size := s.cache.stats()
+	writeJSON(w, http.StatusOK, Stats{
+		Submitted:      s.submitted.Load(),
+		Shed:           s.shed.Load(),
+		Done:           s.nDone.Load(),
+		Failed:         s.nFailed.Load(),
+		Cancelled:      s.nCancelled.Load(),
+		Active:         s.active.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheSize:      size,
+		Draining:       s.draining.Load(),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	pairing, ok := s.reg.Lookup(req.Family, req.Alg)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown pairing %s/%s (GET /v1/pairings lists them)", req.Family, req.Alg)
+		return
+	}
+	if req.Pairs < 0 || req.Pairs > s.cfg.MaxPairs {
+		writeError(w, http.StatusBadRequest, "pairs %d out of [0,%d]", req.Pairs, s.cfg.MaxPairs)
+		return
+	}
+	if req.Bandwidth < 0 || req.MaxRounds < 0 || req.TranscriptChecks < 0 {
+		writeError(w, http.StatusBadRequest, "bandwidth, max_rounds and transcript_checks must be non-negative")
+		return
+	}
+	var plan *faults.Plan
+	if req.Faults != "" {
+		p, err := faults.Parse(req.Faults)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad fault plan: %v", err)
+			return
+		}
+		plan = p
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", s.seq.Add(1)),
+		pairing: pairing,
+		req:     req,
+		timeout: timeout,
+		plan:    plan,
+		created: time.Now(),
+		state:   StateQueued,
+		done:    make(chan struct{}),
+	}
+
+	s.active.Add(1)
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: shed the submission instead of queueing unboundedly.
+		s.active.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs); retry later", s.cfg.QueueDepth)
+		return
+	}
+	s.submitted.Add(1)
+	s.remember(j)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// remember indexes the job and trims the finished-job history to MaxJobs.
+func (s *Server) remember(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.cfg.MaxJobs {
+		old, ok := s.jobs[s.order[0]]
+		if ok {
+			select {
+			case <-old.done:
+			default:
+				return // oldest job still live; trim next time
+			}
+			delete(s.jobs, s.order[0])
+		}
+		s.order = s.order[1:]
+	}
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	select {
+	case <-j.done:
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; report not final", j.id, j.status().State)
+		return
+	}
+	j.mu.Lock()
+	report := j.report
+	j.mu.Unlock()
+	if report == nil {
+		writeError(w, http.StatusNotFound, "job %s finished without a report: %s", j.id, j.status().Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": j.status(), "report": report})
+}
+
+// handleStream streams job progress as server-sent events: a "progress"
+// event whenever the completed count moves, then one final "done" event
+// with the terminal status.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	last := int64(-1)
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			emit("done", j.status())
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if c := j.completed.Load(); c != last {
+				last = c
+				emit("progress", j.status())
+			}
+		}
+	}
+}
