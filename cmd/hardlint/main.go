@@ -1,0 +1,61 @@
+// Command hardlint runs the repo's invariant analyzers (internal/lint)
+// over the given packages — a multichecker in the go/analysis sense,
+// built on the standard library. It is gated in CI; run it locally with
+//
+//	go run ./cmd/hardlint ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 load/typecheck failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"congesthard/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and the invariants they encode, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hardlint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the hardness invariant analyzers over the given package patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). See README.md#static-analysis for the invariant each\n")
+		fmt.Fprintf(os.Stderr, "analyzer encodes and the //hardness: and //nolint:hardlint directives.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n           invariant: %s\n           docs: %s\n", a.Name, a.Doc, a.Invariant, a.URL)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hardlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(pkg) {
+			findings++
+			inv, url := "hardlint directive", "README.md#static-analysis"
+			if a := lint.AnalyzerByName(d.Analyzer); a != nil {
+				inv, url = a.Invariant, a.URL
+			}
+			fmt.Printf("%s\n    invariant: %s — see %s\n", d, inv, url)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hardlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

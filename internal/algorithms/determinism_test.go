@@ -1,0 +1,57 @@
+package algorithms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"congesthard/internal/congest"
+	"congesthard/internal/graph"
+)
+
+// seqMeter records the exact observation sequence of accepted messages:
+// the transcript surface that replay (reduction.VerifySimulation)
+// compares bit for bit.
+type seqMeter struct{ events []string }
+
+func (m *seqMeter) Observe(round, from, to int, payload int64, bits int, dir congest.Direction) {
+	m.events = append(m.events, fmt.Sprintf("r%d %d->%d p%d %v", round, from, to, payload, dir))
+}
+
+// TestLubyMISMeterDeterminism regresses the map-order bug fixed in the
+// hardlint dogfooding pass: LubyMIS used to build its broadcast outbox
+// by ranging over the activeNbrs map, so two identical runs produced
+// identically-sized but differently-ordered Meter transcripts. The
+// outbox must now follow the sorted CSR neighbor order, making the full
+// observation sequence identical run to run.
+func TestLubyMISMeterDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Gnp(16, 0.4, rng)
+		side := make([]bool, g.N())
+		for v := 0; v < g.N()/2; v++ {
+			side[v] = true
+		}
+		run := func() []string {
+			rec := &seqMeter{}
+			opts := congest.Options{
+				MaxRounds: 3*40 + 6,
+				CutSide:   side,
+				Meter:     rec,
+			}
+			if _, err := congest.Run(g, LubyMISFactory(int64(trial), 40), opts); err != nil {
+				t.Fatal(err)
+			}
+			return rec.events
+		}
+		first, second := run(), run()
+		if len(first) != len(second) {
+			t.Fatalf("trial %d: transcript lengths differ: %d vs %d", trial, len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("trial %d: transcripts diverge at event %d: %q vs %q", trial, i, first[i], second[i])
+			}
+		}
+	}
+}

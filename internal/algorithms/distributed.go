@@ -14,7 +14,25 @@ import (
 // Terminates in O(log n) phases with high probability (maxPhases guards).
 func LubyMIS(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result, error) {
 	n := g.N()
-	factory := func(local congest.Local) congest.Node {
+	res, err := congest.Run(g, LubyMISFactory(seed, maxPhases), congest.Options{MaxRounds: 3*maxPhases + 6})
+	if err != nil {
+		return nil, nil, err
+	}
+	var mis []int
+	for v := 0; v < n; v++ {
+		if in, ok := res.Outputs[v].(bool); ok && in {
+			mis = append(mis, v)
+		}
+	}
+	return mis, res, nil
+}
+
+// LubyMISFactory returns the node program of Luby's MIS. The program is
+// deterministic given (seed, vertex id) — including its outbox order —
+// so metered runs (reduction.Certify, transcript replay) can re-execute
+// it exactly; see TestLubyMISMeterDeterminism.
+func LubyMISFactory(seed int64, maxPhases int) congest.Factory {
+	return func(local congest.Local) congest.Node {
 		rng := rand.New(rand.NewSource(seed + int64(local.ID)*2654435761))
 		const (
 			stateActive = iota
@@ -52,11 +70,17 @@ func LubyMIS(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result,
 					}
 					// Draw and broadcast a random value; the range n² fits
 					// the 2·log n CONGEST bandwidth, and ties only cause a
-					// redraw in the next phase.
+					// redraw in the next phase. Broadcast in ascending
+					// neighbor order (the sorted CSR window), not map
+					// order: the outbox sequence feeds any Meter hook, so
+					// map iteration here would make transcripts
+					// replay-divergent.
 					draw = rng.Int63n(int64(local.N)*int64(local.N) + 1)
 					out := make([]congest.Message, 0, len(activeNbrs))
-					for nbr := range activeNbrs {
-						out = append(out, congest.Message{To: nbr, Payload: draw})
+					for _, nbr := range local.Neighbors {
+						if activeNbrs[nbr] {
+							out = append(out, congest.Message{To: nbr, Payload: draw})
+						}
 					}
 					return out, false
 				case 1:
@@ -78,8 +102,10 @@ func LubyMIS(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result,
 					// termination, so here only joins are announced).
 					if state == stateInMIS {
 						out := make([]congest.Message, 0, len(activeNbrs))
-						for nbr := range activeNbrs {
-							out = append(out, congest.Message{To: nbr, Payload: 1})
+						for _, nbr := range local.Neighbors {
+							if activeNbrs[nbr] {
+								out = append(out, congest.Message{To: nbr, Payload: 1})
+							}
 						}
 						return out, false
 					}
@@ -89,17 +115,6 @@ func LubyMIS(g *graph.Graph, seed int64, maxPhases int) ([]int, *congest.Result,
 			OutputFunc: func() interface{} { return state == stateInMIS },
 		}
 	}
-	res, err := congest.Run(g, factory, congest.Options{MaxRounds: 3*maxPhases + 6})
-	if err != nil {
-		return nil, nil, err
-	}
-	var mis []int
-	for v := 0; v < n; v++ {
-		if in, ok := res.Outputs[v].(bool); ok && in {
-			mis = append(mis, v)
-		}
-	}
-	return mis, res, nil
 }
 
 // MaximalMatchingVCFactory returns the node program of the randomized

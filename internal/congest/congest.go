@@ -173,6 +173,8 @@ func (ei *edgeIndex) slot(from, to int) int32 {
 }
 
 // Run simulates the factory's programs on g until every node terminates.
+//
+//hardness:hotpath
 func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	n := g.N()
 	if opts.Meter != nil && opts.CutSide == nil {
@@ -200,6 +202,7 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	slots := csr.Slots()
 
 	nodes := make([]Node, n)
+	//hardness:setup
 	for v := 0; v < n; v++ {
 		nbrs, wts := csr.Window(v)
 		local := Local{

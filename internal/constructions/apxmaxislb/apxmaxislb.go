@@ -259,8 +259,13 @@ func (f *Family) WitnessIndependentSet(x, y comm.Bits) ([]int, error) {
 		}
 		return nil
 	}
-	for s, val := range map[Set]int{SetA1: i, SetB1: i, SetA2: i2, SetB2: i2} {
-		if err := appendCode(s, val); err != nil {
+	// Fixed iteration order (not a map): the witness set's element order
+	// is caller-visible, so it must not depend on map iteration.
+	for _, sv := range [4]struct {
+		s   Set
+		val int
+	}{{SetA1, i}, {SetB1, i}, {SetA2, i2}, {SetB2, i2}} {
+		if err := appendCode(sv.s, sv.val); err != nil {
 			return nil, err
 		}
 	}

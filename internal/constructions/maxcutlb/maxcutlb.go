@@ -224,8 +224,14 @@ func (f *Family) WitnessCut(x, y comm.Bits) ([]bool, error) {
 	side[f.Row(SetB2, j)] = true
 	side[f.CA()] = true
 	side[f.CB()] = true
-	sel := map[Set]int{SetA1: i, SetB1: i, SetA2: j, SetB2: j}
-	for s, val := range sel {
+	// Fixed iteration order (not a map): witness construction must be
+	// deterministic for replay-exact verification.
+	sel := [4]struct {
+		s   Set
+		val int
+	}{{SetA1, i}, {SetB1, i}, {SetA2, j}, {SetB2, j}}
+	for _, sv := range sel {
+		s, val := sv.s, sv.val
 		for h := 0; h < f.logK; h++ {
 			// Complement of Bin(s^val): t^h when the bit is 0, f^h when 1.
 			if val>>uint(h)&1 == 1 {

@@ -13,6 +13,7 @@ package steinerlb
 
 import (
 	"fmt"
+	"sort"
 
 	"congesthard/internal/comm"
 	"congesthard/internal/constructions/mdslb"
@@ -213,5 +214,8 @@ func (f *Family) DominatingSetFromSteinerTree(edges []graph.Edge) []int {
 	for v := range used {
 		set = append(set, v)
 	}
+	// Collected from a map: sort so the extracted dominating set is
+	// deterministic for replay-exact verification.
+	sort.Ints(set)
 	return set
 }

@@ -245,6 +245,8 @@ func (a *arcPairs) Swap(i, j int) {
 }
 
 // Run simulates the factory's programs on d until every node terminates.
+//
+//hardness:hotpath
 func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	n := d.N()
 	if opts.Meter != nil && opts.CutSide == nil {
@@ -273,6 +275,7 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	slots := ch.slots()
 
 	nodes := make([]Node, n)
+	//hardness:setup
 	for v := 0; v < n; v++ {
 		onbrs, owts := out.Window(v)
 		local := Local{

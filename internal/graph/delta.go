@@ -109,6 +109,8 @@ func (g *Graph) record(u, v int, w int64, add, logUndo bool) {
 // AddEdge/SetEdgeWeight it keeps a patchable Freeze snapshot (see
 // FreezePatchable) valid by splicing the affected CSR windows in place,
 // O(deg) per endpoint, instead of discarding the snapshot.
+//
+//hardness:hotpath
 func (g *Graph) ToggleEdge(u, v int, w int64) (added bool, err error) {
 	return g.toggle(u, v, w, true)
 }

@@ -59,6 +59,8 @@ func (d *Digraph) record(u, v int, w int64, add, logUndo bool) {
 // AddArc it keeps a patchable Freeze snapshot (see FreezePatchable) valid
 // by splicing the affected out-window in place, O(outdeg), instead of
 // discarding the snapshot.
+//
+//hardness:hotpath
 func (d *Digraph) ToggleArc(u, v int, w int64) (added bool, err error) {
 	return d.toggle(u, v, w, true)
 }

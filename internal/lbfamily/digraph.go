@@ -222,6 +222,8 @@ func computeDigraphPairsDelta(ctx context.Context, df DeltaDigraphFamily, side, 
 // mirroring deltaWorker arc-for-edge. It reports false when the delta
 // machinery itself failed and the caller must fall back; cancellation is
 // NOT a failure.
+//
+//hardness:hotpath
 func digraphDeltaWorker(ctx context.Context, df DeltaDigraphFamily, d *graph.Digraph, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr, completed *atomic.Int64) bool {
 	k := df.K()
 	d.FreezePatchable()
@@ -253,7 +255,9 @@ func digraphDeltaWorker(ctx context.Context, df DeltaDigraphFamily, d *graph.Dig
 		if applyErr != nil {
 			return applyErr
 		}
-		for _, a := range d.Journal() {
+		// One toggle's journal: O(attached arcs), cannot block; the
+		// claiming loop checks ctx once per pair.
+		for _, a := range d.Journal() { //nolint:hardlint/ctxflow bounded per-toggle fold; ctx checked per pair
 			h := graph.ArcHash(a.From, a.To, a.W)
 			switch {
 			case side[a.From] != side[a.To]:

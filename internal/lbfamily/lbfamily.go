@@ -449,6 +449,8 @@ func deltaSurfaceConsistent(df DeltaFamily, side, bobSide []bool) bool {
 // false when the delta machinery itself failed and the caller must fall
 // back; cancellation is NOT a failure (returning true keeps the partial
 // outcomes, which the caller reports as a CancelledError).
+//
+//hardness:hotpath
 func deltaWorker(ctx context.Context, df DeltaFamily, side, bobSide []bool, xs, ys []comm.Bits, order []int, outcomes []pairOutcome, nextCol, minErr, completed *atomic.Int64) bool {
 	k := df.K()
 	g, err := df.BuildBase()
@@ -484,7 +486,9 @@ func deltaWorker(ctx context.Context, df DeltaFamily, side, bobSide []bool, xs, 
 		if applyErr != nil {
 			return applyErr
 		}
-		for _, d := range g.Journal() {
+		// One toggle's journal: O(attached edges), cannot block; the
+		// claiming loop checks ctx once per pair.
+		for _, d := range g.Journal() { //nolint:hardlint/ctxflow bounded per-toggle fold; ctx checked per pair
 			h := graph.EdgeHash(d.U, d.V, d.W)
 			switch {
 			case side[d.U] != side[d.V]:
@@ -497,7 +501,7 @@ func deltaWorker(ctx context.Context, df DeltaFamily, side, bobSide []bool, xs, 
 		}
 		// Vertex weights contribute to the induced-side hashes only; the
 		// cut hash is a pure edge fold.
-		for _, d := range g.VertexJournal() {
+		for _, d := range g.VertexJournal() { //nolint:hardlint/ctxflow bounded per-toggle fold; ctx checked per pair
 			h := graph.VertexHash(d.V, d.W)
 			if side[d.V] {
 				aH ^= h

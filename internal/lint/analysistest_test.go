@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden-fixture runner mirrors x/tools' analysistest: fixture files
+// under testdata/src/<name> annotate the lines where diagnostics are
+// expected with trailing comments of the form
+//
+//	// want "substring" ["substring" ...]
+//
+// Each quoted string must be contained in the rendered diagnostic
+// ("[analyzer] message") reported on that line. Unmatched expectations
+// and unexpected diagnostics both fail the test.
+var (
+	wantRe   = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type wantEntry struct {
+	substr  string
+	matched bool
+}
+
+// runFixture loads testdata/src/<name> as a single package and checks
+// the given analyzers' output (including the framework's own directive
+// findings) against the fixture's want comments.
+func runFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+
+	wants := map[string][]*wantEntry{} // file:line -> expectations in order
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey(pos.Filename, pos.Line)
+				quoted := quotedRe.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: want comment carries no quoted expectation: %s", key, c.Text)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					wants[key] = append(wants[key], &wantEntry{substr: s})
+				}
+			}
+		}
+	}
+
+	for _, d := range RunAnalyzers(pkg, analyzers) {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		rendered := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && strings.Contains(rendered, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected a diagnostic containing %q, got none", key, w.substr)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces cancellation plumbing in the sweep/serving layers:
+//
+//   - every function that accepts a context.Context must consult it in
+//     each of its working loops (a ctx.Err()/ctx.Done() check or a call
+//     that receives the ctx per shard/pair iteration) — an unchecked
+//     long loop is exactly the shape that made pre-PR-6 sweeps
+//     uncancellable;
+//   - every goroutine launched in the analyzed packages must have a
+//     visible join: the enclosing function must use a sync.WaitGroup
+//     (or errgroup.Group), so worker pools cannot leak.
+//
+// Loops whose bodies only do index arithmetic (no function calls) are
+// exempt — they cannot block and finish in bounded time.
+var Ctxflow = &Analyzer{
+	Name:      "ctxflow",
+	Invariant: "cancellable sweeps: ctx consulted per iteration, goroutines joined",
+	Doc: "flags loops in ctx-taking functions that never consult any context, and " +
+		"go statements in functions with no visible WaitGroup/errgroup join",
+	URL: "README.md#static-analysis",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// Check A: ctx-taking functions thread ctx into their loops.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass, ftype) {
+				return true
+			}
+			checkCtxLoops(pass, body)
+			return true
+		})
+
+		// Check B: goroutines have a visible join in their launcher.
+		// Each function (decl or literal) is scanned for go statements
+		// that belong to it directly — a goroutine launched inside a
+		// nested literal is attributed to that literal's scan.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, g := range directGoStmts(body) {
+				if !usesWaitGroup(pass, body) {
+					pass.Reportf(g.Pos(), "goroutine launched without a visible join: add a sync.WaitGroup (or errgroup) Wait in this function so the worker cannot leak")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func hasCtxParam(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if isContext(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxLoops flags for/range loops in body that make real calls but
+// never touch a context. Nested function literals that take their own
+// ctx are checked separately; ctx-less literals (worker bodies) are
+// examined as part of the loop they run in. Calling a local closure
+// that itself consults the ctx (the sweep engines' `step` idiom) counts
+// as consulting it.
+func checkCtxLoops(pass *Pass, body *ast.BlockStmt) {
+	carriers := ctxCarriers(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
+			return false // its own checkCtxLoops visit covers it
+		}
+		var loopBody *ast.BlockStmt
+		var pos ast.Node
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loopBody, pos = s.Body, s
+		case *ast.RangeStmt:
+			loopBody, pos = s.Body, s
+		default:
+			return true
+		}
+		if !makesRealCalls(pass, loopBody) {
+			return true // pure index arithmetic: bounded, cannot block
+		}
+		if referencesContext(pass, loopBody, carriers) {
+			return true
+		}
+		pass.Reportf(pos.Pos(), "loop calls functions but never consults a context: check ctx.Err() (or pass ctx down) each iteration so cancellation reaches this loop")
+		return true
+	})
+}
+
+// ctxCarriers collects the local closures in body that reference a
+// context — `step := func(...) error { if err := ctx.Err(); ... }` —
+// so loops driving the sweep through such a closure are recognized as
+// cancellable.
+func ctxCarriers(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	carriers := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || !referencesContext(pass, lit.Body, nil) {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				carriers[obj] = true
+			} else if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				carriers[obj] = true
+			}
+		}
+		return true
+	})
+	return carriers
+}
+
+// makesRealCalls reports whether the subtree contains a call that is
+// neither a builtin nor a type conversion.
+func makesRealCalls(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// referencesContext reports whether any expression in the subtree has
+// type context.Context — a ctx.Err() check, a ctx argument, a
+// req.Context() read — or names a ctx-carrying closure from carriers.
+func referencesContext(pass *Pass, n ast.Node, carriers map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContext(pass.TypeOf(e)) {
+			found = true
+			return false
+		}
+		if id, ok := e.(*ast.Ident); ok && carriers[pass.Pkg.Info.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// directGoStmts returns the go statements lexically inside body but not
+// inside any nested function literal.
+func directGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = append(out, g)
+			// Still descend: the launched literal itself is nested, so
+			// the FuncLit guard above keeps its goStmts out.
+		}
+		return true
+	})
+	return out
+}
+
+// usesWaitGroup reports whether the function body references a
+// sync.WaitGroup or errgroup.Group value anywhere (including nested
+// literals — `defer wg.Done()` inside the launched worker counts as
+// evidence of a join protocol).
+func usesWaitGroup(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isWaitGroupish(pass.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detrand forbids ambient nondeterminism — the process-global
+// math/rand source and wall-clock reads — in determinism-critical
+// packages. Everything probabilistic in the pipeline must flow through
+// an explicit seed: either a caller-provided *rand.Rand or the
+// splitmix64 (seed, round, from, to) hashing idiom the fault injector
+// uses, so that two runs with equal seeds are bit-identical and
+// transcript replay is exact. Constructing explicit generators
+// (rand.New, rand.NewSource) and using *rand.Rand methods is fine;
+// calling the package-level functions (whose shared source is seeded
+// from runtime entropy) or reading time.Now is not.
+var Detrand = &Analyzer{
+	Name:      "detrand",
+	Invariant: "seeded determinism: no global math/rand, no wall-clock reads",
+	Doc: "flags package-level math/rand calls and time.Now/Since/Until in " +
+		"determinism-critical packages; explicit *rand.Rand and splitmix64 hashing are the sanctioned sources",
+	URL: "README.md#static-analysis",
+	Run: runDetrand,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared, runtime-seeded global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// clockFuncs are the time package entry points that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetrand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pass.pkgFunc(sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[name]:
+				pass.Reportf(sel.Pos(), "rand.%s uses the runtime-seeded global source: thread an explicit *rand.Rand or the splitmix64 (seed, round, from, to) hash instead", name)
+			case pkg == "time" && clockFuncs[name]:
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a determinism-critical package: derive timing-free logic from seeds and round numbers", name)
+			}
+			return true
+		})
+	}
+}

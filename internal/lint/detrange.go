@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Detrange flags iteration whose order the runtime randomizes — `range`
+// over a map — in determinism-critical packages. The Theorem 1.1
+// pipeline depends on replay-exact execution: transcript replay
+// (reduction.VerifySimulation) and the delta-vs-rebuild differentials
+// compare runs bit for bit, so any map-order-dependent loop in the
+// simulators, families, or reduction engine is a latent replay
+// divergence (PR 4 caught exactly this class in algorithms/distributed.go
+// at runtime; detrange catches it at build time).
+//
+// The one recognized sorted-collect idiom is exempt: a function that
+// ranges over a map only to collect keys or values and then calls
+// sort.* / slices.Sort* afterwards re-establishes a deterministic
+// order, so its ranges are not flagged.
+var Detrange = &Analyzer{
+	Name:      "detrange",
+	Invariant: "replay-exact determinism: no iteration-order-dependent loops",
+	Doc: "flags `range` over maps in determinism-critical packages; " +
+		"collect-then-sort functions and //nolint:hardlint/detrange lines are exempt",
+	URL: "README.md#static-analysis",
+	Run: runDetrange,
+}
+
+func runDetrange(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := funcBody(n)
+			if !ok {
+				return true
+			}
+			checkDetrangeFunc(pass, fn)
+			return true
+		})
+	}
+}
+
+// funcBody returns the body of a function declaration or literal.
+// Nested literals are visited through the enclosing inspection, so the
+// sorted-collect exemption is scoped to the innermost function.
+func funcBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		if fn.Body != nil {
+			return fn.Body, true
+		}
+	case *ast.FuncLit:
+		return fn.Body, true
+	}
+	return nil, false
+}
+
+func checkDetrangeFunc(pass *Pass, body *ast.BlockStmt) {
+	// Position of the last sort call in this function body, if any;
+	// map ranges textually before it are part of a collect-then-sort.
+	lastSort := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested && n != ast.Node(body) {
+			return false // handled by its own checkDetrangeFunc visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := pass.pkgFunc(call.Fun); ok && isSortCall(pkg, name) {
+			if call.End() > lastSort {
+				lastSort = call.End()
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested && n != ast.Node(body) {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMap(pass.TypeOf(rng.X)) {
+			return true
+		}
+		if lastSort.IsValid() && rng.End() < lastSort {
+			return true // collect-then-sort idiom
+		}
+		pass.Reportf(rng.For, "range over map: iteration order is randomized and breaks replay-exact determinism; iterate sorted keys instead (or collect and sort afterwards)")
+		return true
+	})
+}
+
+func isSortCall(pkgPath, name string) bool {
+	switch pkgPath {
+	case "sort":
+		return true // every exported sort.* entry point orders data
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

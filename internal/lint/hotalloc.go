@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc enforces the zero-alloc steady-state invariant on functions
+// marked //hardness:hotpath (the simulator round loops, the delta
+// workers, the oracle arenas — everything the allocs-guard benchmarks
+// watch at runtime). Inside such a function every loop is treated as a
+// per-round/per-pair path, and allocation-inducing constructs in it are
+// flagged: make/new, append (growth), closures, defer/go statements,
+// fmt calls, pointer/slice/map composite literals, and implicit
+// interface conversions (boxing).
+//
+// Two escape hatches keep the signal honest:
+//
+//   - a branch that leaves the function (its block ends in return or
+//     panic) runs at most once per call — validation/error paths inside
+//     hot loops are automatically cold and never flagged;
+//   - a loop marked //hardness:setup (directly above the `for`) is
+//     one-time initialization, exempt together with everything nested
+//     in it.
+var Hotalloc = &Analyzer{
+	Name:      "hotalloc",
+	Invariant: "zero-alloc steady state: no allocations in //hardness:hotpath loops",
+	Doc: "flags allocation-inducing constructs inside loops of //hardness:hotpath " +
+		"functions; //hardness:setup loops and branches that return/panic are exempt",
+	URL: "README.md#static-analysis",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Pkg.Hotpath(fn) {
+				continue
+			}
+			w := &hotallocWalker{pass: pass}
+			w.stmt(fn.Body, false, false)
+		}
+	}
+}
+
+// hotallocWalker walks a hotpath function body tracking two bits of
+// context: hot (lexically inside a non-setup loop) and cold (inside a
+// branch whose block terminates in return/panic, or a setup loop).
+type hotallocWalker struct {
+	pass *Pass
+}
+
+func (w *hotallocWalker) block(list []ast.Stmt, hot, cold bool) {
+	for _, s := range list {
+		w.stmt(s, hot, cold)
+	}
+}
+
+func (w *hotallocWalker) stmt(s ast.Stmt, hot, cold bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s.List, hot, cold)
+	case *ast.ForStmt:
+		if w.pass.Pkg.SetupLoop(s.Pos()) {
+			return // one-time setup: subtree exempt
+		}
+		w.stmt(s.Init, hot, cold)
+		w.expr(s.Cond, hot, cold)
+		w.stmt(s.Post, hot || !cold, cold)
+		w.block(s.Body.List, hot || !cold, cold)
+	case *ast.RangeStmt:
+		if w.pass.Pkg.SetupLoop(s.Pos()) {
+			return
+		}
+		w.expr(s.X, hot, cold)
+		w.block(s.Body.List, hot || !cold, cold)
+	case *ast.IfStmt:
+		w.stmt(s.Init, hot, cold)
+		w.expr(s.Cond, hot, cold)
+		// A branch that exits the function runs at most once per call:
+		// its allocations are cold-path, not steady-state.
+		w.block(s.Body.List, hot, cold || terminatesFlow(s.Body.List))
+		w.stmt(s.Else, hot, cold)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, hot, cold)
+		w.expr(s.Tag, hot, cold)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, hot, cold)
+			}
+			w.block(cc.Body, hot, cold || terminatesFlow(cc.Body))
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, hot, cold)
+		w.stmt(s.Assign, hot, cold)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.block(cc.Body, hot, cold || terminatesFlow(cc.Body))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm, hot, cold)
+			w.block(cc.Body, hot, cold || terminatesFlow(cc.Body))
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, hot, cold)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, hot, cold)
+		}
+		w.checkBoxingAssign(s, hot, cold)
+	case *ast.ExprStmt:
+		w.expr(s.X, hot, cold)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, hot, cold)
+		}
+	case *ast.DeferStmt:
+		if hot && !cold {
+			w.pass.Reportf(s.Pos(), "defer inside a hot loop allocates per iteration and runs only at function exit")
+			return
+		}
+		w.expr(s.Call, hot, cold)
+	case *ast.GoStmt:
+		if hot && !cold {
+			w.pass.Reportf(s.Pos(), "goroutine launch inside a hot loop allocates a stack per iteration")
+			return
+		}
+		w.expr(s.Call, hot, cold)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, hot, cold)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, hot, cold)
+	case *ast.SendStmt:
+		w.expr(s.Chan, hot, cold)
+		w.expr(s.Value, hot, cold)
+	case *ast.IncDecStmt:
+		w.expr(s.X, hot, cold)
+	}
+}
+
+func (w *hotallocWalker) expr(e ast.Expr, hot, cold bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		if hot && !cold {
+			w.pass.Reportf(e.Pos(), "closure inside a hot loop allocates per iteration; hoist it out of the loop")
+			return // one finding per closure is enough
+		}
+		// A closure defined outside the loops of a hotpath function is
+		// itself hotpath code: its loops are hot.
+		w.block(e.Body.List, hot, cold)
+	case *ast.CallExpr:
+		w.checkCall(e, hot, cold)
+		w.expr(e.Fun, hot, cold)
+		for _, a := range e.Args {
+			w.expr(a, hot, cold)
+		}
+	case *ast.CompositeLit:
+		if hot && !cold {
+			switch types.Unalias(w.pass.TypeOf(e)).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				w.pass.Reportf(e.Pos(), "slice/map literal inside a hot loop allocates per iteration")
+			}
+		}
+		for _, el := range e.Elts {
+			w.expr(el, hot, cold)
+		}
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			if _, isLit := e.X.(*ast.CompositeLit); isLit && hot && !cold {
+				w.pass.Reportf(e.Pos(), "&composite literal inside a hot loop heap-allocates per iteration")
+				return
+			}
+		}
+		w.expr(e.X, hot, cold)
+	case *ast.BinaryExpr:
+		w.expr(e.X, hot, cold)
+		w.expr(e.Y, hot, cold)
+	case *ast.ParenExpr:
+		w.expr(e.X, hot, cold)
+	case *ast.SelectorExpr:
+		w.expr(e.X, hot, cold)
+	case *ast.IndexExpr:
+		w.expr(e.X, hot, cold)
+		w.expr(e.Index, hot, cold)
+	case *ast.SliceExpr:
+		w.expr(e.X, hot, cold)
+		w.expr(e.Low, hot, cold)
+		w.expr(e.High, hot, cold)
+		w.expr(e.Max, hot, cold)
+	case *ast.StarExpr:
+		w.expr(e.X, hot, cold)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, hot, cold)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, hot, cold)
+		w.expr(e.Value, hot, cold)
+	}
+}
+
+func (w *hotallocWalker) checkCall(call *ast.CallExpr, hot, cold bool) {
+	if !hot || cold {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := w.pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				w.pass.Reportf(call.Pos(), "%s inside a hot loop allocates per iteration; preallocate in setup and reuse", id.Name)
+			case "append":
+				w.pass.Reportf(call.Pos(), "append inside a hot loop can grow its backing array; preallocate with capacity in setup")
+			}
+			return
+		}
+	}
+	if pkg, name, ok := w.pass.pkgFunc(call.Fun); ok && pkg == "fmt" {
+		w.pass.Reportf(call.Pos(), "fmt.%s inside a hot loop allocates (formatting, boxing); move formatting off the hot path", name)
+		return
+	}
+	w.checkBoxingCall(call)
+}
+
+// checkBoxingCall flags arguments implicitly converted to interface
+// parameters: boxing a concrete value allocates (ints, structs) on
+// every call.
+func (w *hotallocWalker) checkBoxingCall(call *ast.CallExpr) {
+	tv, ok := w.pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		// Conversions T(x) never box unless T is an interface, which
+		// the assignment check below would catch at the use site.
+		return
+	}
+	sig, ok := types.Unalias(tv.Type).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no boxing
+			}
+			pt = types.Unalias(params.At(params.Len() - 1).Type()).(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pt, w.pass.TypeOf(arg)) {
+			w.pass.Reportf(arg.Pos(), "argument is boxed into interface parameter %s inside a hot loop; avoid the conversion or hoist it", pt)
+		}
+	}
+}
+
+func (w *hotallocWalker) checkBoxingAssign(s *ast.AssignStmt, hot, cold bool) {
+	if !hot || cold || s.Tok.String() != "=" {
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return // multi-value RHS: types already fixed by the callee
+	}
+	for i := range s.Lhs {
+		if boxes(w.pass.TypeOf(s.Lhs[i]), w.pass.TypeOf(s.Rhs[i])) {
+			w.pass.Reportf(s.Rhs[i].Pos(), "value is boxed into interface on assignment inside a hot loop")
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type from to a location of
+// type to implicitly converts a concrete value to an interface.
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if !types.IsInterface(types.Unalias(to).Underlying()) {
+		return false
+	}
+	if types.IsInterface(types.Unalias(from).Underlying()) {
+		return false // interface-to-interface, no new allocation
+	}
+	if basic, ok := types.Unalias(from).(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
+		// Untyped nil/consts: nil never boxes; constants box but are
+		// hoistable only via nolint — treat untyped nil specially.
+		if basic.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,363 @@
+// Package lint is the hardlint analyzer suite: a family of vet-style
+// static analyzers that turn the repo's load-bearing runtime invariants
+// (replay-exact determinism, zero-alloc round loops, panic confinement,
+// ctx threading) into build-time gates.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape — Analyzer, Pass, Diagnostic — but is built entirely on the
+// standard library (go/ast, go/types, go/importer) because this module
+// vendors no third-party dependencies. Packages under analysis are
+// typechecked from source against the compiler's export data (see
+// load.go), exactly the architecture `go vet` uses.
+//
+// Two comment directives steer the analyzers:
+//
+//	//hardness:hotpath  on a function declaration's doc comment marks
+//	                    its loops as steady-state hot paths: hotalloc
+//	                    flags allocation-inducing constructs inside them.
+//	//hardness:setup    immediately above a loop inside a hotpath
+//	                    function marks that loop (and everything nested
+//	                    in it) as one-time setup, exempt from hotalloc.
+//
+// Deliberate exceptions are suppressed with
+//
+//	//nolint:hardlint <reason>            all analyzers
+//	//nolint:hardlint/<analyzer> <reason> one analyzer
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory; a bare nolint is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects the package in
+// pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	Name      string // short lower-case name, e.g. "detrange"
+	Invariant string // the invariant the analyzer encodes, for messages
+	Doc       string // longer description shown by hardlint -list
+	URL       string // documentation anchor printed with findings
+	Run       func(pass *Pass)
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path       string // full import path
+	ModulePath string // module root ("" for fixture packages)
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	directives *directiveIndex // lazily built comment-directive index
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when untyped.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// RunAnalyzers applies the given analyzers to pkg, resolves //nolint
+// suppressions, and returns the surviving diagnostics in file/position
+// order — including the framework's own findings (malformed nolint
+// directives, unknown //hardness: directives).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	idx := pkg.directiveIndex()
+	var out []Diagnostic
+	out = append(out, idx.problems...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if idx.suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Comment directives: //nolint:hardlint and //hardness:*
+// ---------------------------------------------------------------------
+
+const (
+	nolintPrefix    = "//nolint:hardlint"
+	directivePrefix = "//hardness:"
+
+	// DirectiveHotpath marks a function whose loops are steady-state
+	// hot paths; DirectiveSetup exempts one loop inside such a function.
+	DirectiveHotpath = "//hardness:hotpath"
+	DirectiveSetup   = "//hardness:setup"
+)
+
+var nolintRe = regexp.MustCompile(`^//nolint:hardlint(?:/([a-z]+))?(?:\s+(.*))?$`)
+
+type nolintEntry struct {
+	analyzer string // "" = all hardlint analyzers
+}
+
+type directiveIndex struct {
+	// nolint maps file:line (both the directive's own line and the line
+	// below, so standalone comments cover the statement they precede)
+	// to the suppressions active there.
+	nolint map[string][]nolintEntry
+	// hotpath and setup record the lines carrying each directive.
+	hotpath map[string]map[int]bool
+	setup   map[string]map[int]bool
+	// problems are framework-level findings: reasonless nolint,
+	// unknown //hardness: directives.
+	problems []Diagnostic
+}
+
+func lineKey(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+func (pkg *Package) directiveIndex() *directiveIndex {
+	if pkg.directives != nil {
+		return pkg.directives
+	}
+	idx := &directiveIndex{
+		nolint:  map[string][]nolintEntry{},
+		hotpath: map[string]map[int]bool{},
+		setup:   map[string]map[int]bool{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx.scan(pkg.Fset, c)
+			}
+		}
+	}
+	pkg.directives = idx
+	return idx
+}
+
+func (idx *directiveIndex) scan(fset *token.FileSet, c *ast.Comment) {
+	text := strings.TrimRight(c.Text, " \t")
+	pos := fset.Position(c.Pos())
+	switch {
+	case strings.HasPrefix(text, nolintPrefix):
+		m := nolintRe.FindStringSubmatch(text)
+		if m == nil || strings.TrimSpace(m[2]) == "" {
+			idx.problems = append(idx.problems, Diagnostic{
+				Pos:      pos,
+				Analyzer: "nolint",
+				Message:  "nolint:hardlint directive requires a reason: //nolint:hardlint[/analyzer] <why this exception is sound>",
+			})
+			return
+		}
+		e := nolintEntry{analyzer: m[1]}
+		idx.nolint[lineKey(pos.Filename, pos.Line)] = append(idx.nolint[lineKey(pos.Filename, pos.Line)], e)
+		idx.nolint[lineKey(pos.Filename, pos.Line+1)] = append(idx.nolint[lineKey(pos.Filename, pos.Line+1)], e)
+	case strings.HasPrefix(text, directivePrefix):
+		name := strings.TrimPrefix(text, directivePrefix)
+		if i := strings.IndexAny(name, " \t"); i >= 0 {
+			name = name[:i]
+		}
+		switch name {
+		case "hotpath":
+			addLine(idx.hotpath, pos.Filename, pos.Line)
+		case "setup":
+			addLine(idx.setup, pos.Filename, pos.Line)
+		default:
+			idx.problems = append(idx.problems, Diagnostic{
+				Pos:      pos,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("unknown //hardness: directive %q (want hotpath or setup)", name),
+			})
+		}
+	}
+}
+
+func addLine(m map[string]map[int]bool, file string, line int) {
+	if m[file] == nil {
+		m[file] = map[int]bool{}
+	}
+	m[file][line] = true
+}
+
+func (idx *directiveIndex) suppressed(analyzer string, pos token.Position) bool {
+	for _, e := range idx.nolint[lineKey(pos.Filename, pos.Line)] {
+		if e.analyzer == "" || e.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Hotpath reports whether fn carries the //hardness:hotpath directive,
+// either inside its doc comment group or on any line of the comment
+// block directly above the declaration.
+func (pkg *Package) Hotpath(fn *ast.FuncDecl) bool {
+	idx := pkg.directiveIndex()
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if strings.HasPrefix(strings.TrimRight(c.Text, " \t"), DirectiveHotpath) {
+				return true
+			}
+		}
+	}
+	pos := pkg.Fset.Position(fn.Pos())
+	return idx.hotpath[pos.Filename] != nil && idx.hotpath[pos.Filename][pos.Line-1]
+}
+
+// SetupLoop reports whether the loop statement starting at pos carries
+// a //hardness:setup directive on the line directly above it.
+func (pkg *Package) SetupLoop(pos token.Pos) bool {
+	idx := pkg.directiveIndex()
+	p := pkg.Fset.Position(pos)
+	return idx.setup[p.Filename] != nil && idx.setup[p.Filename][p.Line-1]
+}
+
+// ---------------------------------------------------------------------
+// Shared AST/type helpers used by several analyzers
+// ---------------------------------------------------------------------
+
+// pkgFunc resolves a qualified call/selector like sort.Slice to its
+// package path and name; ok is false for anything else (method calls,
+// locals, unresolved identifiers).
+func (p *Pass) pkgFunc(e ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	pn, isPkg := obj.(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isMap reports whether t's underlying type (through aliases and named
+// types) is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Map)
+	return ok
+}
+
+// isContext reports whether t is context.Context (or an alias of it).
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isWaitGroupish reports whether t is sync.WaitGroup or
+// golang.org/x/sync/errgroup.Group, through pointers and aliases.
+func isWaitGroupish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	case strings.HasSuffix(obj.Pkg().Path(), "errgroup") && obj.Name() == "Group":
+		return true
+	}
+	return false
+}
+
+// isPanicCall reports whether s is a bare `panic(...)` statement.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// terminatesFlow reports whether the statement list ends by leaving the
+// enclosing function (return or panic): a block like
+//
+//	if err != nil { return nil, fmt.Errorf(...) }
+//
+// inside a loop runs its allocation at most once per call, so hotalloc
+// treats such branches as cold paths.
+func terminatesFlow(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	last := list[len(list)-1]
+	if _, ok := last.(*ast.ReturnStmt); ok {
+		return true
+	}
+	return isPanicCall(last)
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDetrangeFixture(t *testing.T)  { runFixture(t, "detrange", Detrange) }
+func TestDetrandFixture(t *testing.T)   { runFixture(t, "detrand", Detrand) }
+func TestHotallocFixture(t *testing.T)  { runFixture(t, "hotalloc", Hotalloc) }
+func TestCtxflowFixture(t *testing.T)   { runFixture(t, "ctxflow", Ctxflow) }
+func TestPanicsiteFixture(t *testing.T) { runFixture(t, "panicsite", Panicsite) }
+
+// TestDirectiveHandling checks the framework's own directive findings
+// and the scoping rules of //nolint:hardlint suppressions.
+func TestDirectiveHandling(t *testing.T) {
+	pkg, err := LoadFixture(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatalf("loading directives fixture: %v", err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{Detrange})
+
+	count := func(analyzer, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+
+	if got := count("nolint", "requires a reason"); got != 1 {
+		t.Errorf("reasonless nolint findings = %d, want 1", got)
+	}
+	if got := count("directive", "unknown //hardness: directive"); got != 1 {
+		t.Errorf("unknown-directive findings = %d, want 1", got)
+	}
+	// Two of the three map ranges must survive: the one under the
+	// reasonless nolint (suppresses nothing) and the one under the
+	// wrong-analyzer nolint. The unscoped, reasoned nolint suppresses
+	// the third.
+	if got := count("detrange", "range over map"); got != 2 {
+		t.Errorf("surviving detrange findings = %d, want 2", got)
+	}
+	if len(diags) != 4 {
+		t.Errorf("total diagnostics = %d, want 4:", len(diags))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+}
+
+// TestAnalyzerMetadata pins what cmd/hardlint prints with findings:
+// every analyzer names its invariant and links the README section.
+func TestAnalyzerMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || names[a.Name] {
+			t.Errorf("analyzer name %q missing or duplicated", a.Name)
+		}
+		names[a.Name] = true
+		if a.Invariant == "" {
+			t.Errorf("%s: empty Invariant", a.Name)
+		}
+		if a.URL != "README.md#static-analysis" {
+			t.Errorf("%s: URL = %q, want README.md#static-analysis", a.Name, a.URL)
+		}
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if len(names) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(names))
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Panicsite restricts bare panic in library packages. The repo's
+// contract since PR 6 is that a panic anywhere in a sweep is confined
+// by the recover-into-*PanicError machinery and reported as the failing
+// (x,y) pair — but that only holds for code reached through the
+// confined workers. Library code reached from anywhere else must
+// return errors. The allowlist is small and structural: Must*/must*
+// constructors (panic-on-error wrappers over a checked API, used only
+// by validated builders) may panic; everything else needs a
+// //nolint:hardlint/panicsite justification naming why the panic is
+// unreachable or confined.
+var Panicsite = &Analyzer{
+	Name:      "panicsite",
+	Invariant: "panic confinement: library panics only in Must* wrappers or behind recover machinery",
+	Doc: "flags panic calls in library packages outside Must*/must* functions; " +
+		"deliberate invariant-violation panics need //nolint:hardlint/panicsite with a reason",
+	URL: "README.md#static-analysis",
+	Run: runPanicsite,
+}
+
+func runPanicsite(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPanics(pass, fd)
+			}
+		}
+	}
+}
+
+func checkPanics(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if strings.HasPrefix(strings.ToLower(name), "must") {
+		return // Must*/must* wrappers are the sanctioned panic surface
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		pass.Reportf(call.Pos(), "bare panic in library code: return an error, rename the wrapper Must*, or justify with //nolint:hardlint/panicsite (confined/unreachable invariant)")
+		return true
+	})
+}

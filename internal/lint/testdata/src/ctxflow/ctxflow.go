@@ -1,0 +1,89 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+func work(i int) int { return i * i }
+
+func handle(ctx context.Context, i int) { _ = i }
+
+// SweepCtx takes a ctx but its working loop never consults any
+// context: cancellation cannot reach it. Flagged.
+func SweepCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "never consults a context"
+		total += work(i)
+	}
+	return total
+}
+
+// SweepChecked consults ctx.Err each iteration: exempt.
+func SweepChecked(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += work(i)
+	}
+	return total
+}
+
+// SweepPassedDown threads the ctx into the per-item call: exempt.
+func SweepPassedDown(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		handle(ctx, i)
+	}
+}
+
+// SweepIndexOnly makes no calls in its loop — pure index arithmetic
+// is bounded and cannot block: exempt.
+func SweepIndexOnly(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// SweepViaStep drives the loop through a local closure that checks the
+// ctx — the sweep engines' step idiom. The closure is recognized as a
+// ctx carrier, so the loop is exempt.
+func SweepViaStep(ctx context.Context, n int) int {
+	total := 0
+	step := func(i int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		total += work(i)
+		return true
+	}
+	for i := 0; i < n; i++ {
+		if !step(i) {
+			break
+		}
+	}
+	return total
+}
+
+// spawnJoined launches workers with a visible WaitGroup join: exempt.
+func spawnJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(1)
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnLeaky launches a goroutine with no join anywhere in the
+// function: the worker can leak. Flagged.
+func spawnLeaky() {
+	go work(1) // want "goroutine launched without a visible join"
+}

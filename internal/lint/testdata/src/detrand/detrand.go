@@ -1,0 +1,43 @@
+// Package detrand is the golden fixture for the detrand analyzer.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// roll calls the package-level rand, backed by the runtime-seeded
+// global source: flagged.
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn uses the runtime-seeded global source"
+}
+
+// stamp reads the wall clock: flagged.
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// elapsed also reads the clock, through Since: flagged.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// seeded uses methods on an explicit *rand.Rand: the sanctioned source.
+func seeded(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// construct builds an explicit generator from a caller seed: fine.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// duration manipulates time values without reading the clock: fine.
+func duration(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// suppressed carries a justified nolint: exempt.
+func suppressed() int64 {
+	return time.Now().UnixNano() //nolint:hardlint/detrand log-stamp only, never compared
+}

@@ -1,0 +1,66 @@
+// Package detrange is the golden fixture for the detrange analyzer.
+package detrange
+
+import "sort"
+
+// sumValues ranges over a map with no re-sorting: flagged.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: the map range
+// feeds a sort.* call later in the same function, so it is exempt.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// overSlice ranges over a slice: slices iterate in index order, exempt.
+func overSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+type dict map[int]int
+
+// namedMap ranges over a named map type: still map-ordered, flagged.
+func namedMap(d dict) int {
+	total := 0
+	for k := range d { // want "range over map"
+		total += k
+	}
+	return total
+}
+
+// nestedLit shows the exemption is scoped to the innermost function:
+// the outer sort.Ints does not launder the range inside the closure.
+func nestedLit(m map[int]int) func() {
+	keys := []int{}
+	f := func() {
+		for k := range m { // want "range over map"
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return f
+}
+
+// suppressed carries a justified per-analyzer nolint: exempt.
+func suppressed(m map[int]int) int {
+	total := 0
+	for _, v := range m { //nolint:hardlint/detrange order-insensitive sum
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+// Package directives is the fixture for the framework's own directive
+// handling: reasonless nolint, unknown //hardness: names, and the
+// per-analyzer scoping of suppressions. The expectations live in
+// TestDirectiveHandling rather than want comments, because several of
+// the findings land on full-line comment positions.
+package directives
+
+// A reasonless nolint is itself a finding and suppresses nothing: the
+// detrange diagnostic on the same line survives.
+//
+//hardness:frobnicate
+func unknownDirective(m map[int]int) int {
+	total := 0
+	for _, v := range m { //nolint:hardlint
+		total += v
+	}
+	return total
+}
+
+// A nolint scoped to a different analyzer does not suppress detrange.
+func wrongAnalyzer(m map[int]int) int {
+	total := 0
+	//nolint:hardlint/detrand seeded elsewhere
+	for k := range m {
+		total += k
+	}
+	return total
+}
+
+// An unscoped nolint with a reason suppresses every hardlint analyzer.
+func allAnalyzers(m map[int]int) int {
+	total := 0
+	//nolint:hardlint order-insensitive fold
+	for k := range m {
+		total += k
+	}
+	return total
+}

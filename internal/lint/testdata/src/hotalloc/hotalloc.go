@@ -1,0 +1,81 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type pair struct{ a, b int }
+
+func sink(v interface{}) { _ = v }
+
+func noop() {}
+
+// hotRun exercises the flagged constructs: every allocation-inducing
+// shape inside a steady-state loop of a hotpath function.
+//
+//hardness:hotpath
+func hotRun(rounds int, buf []int) error {
+	//hardness:setup
+	for i := range buf {
+		buf[i] = len(make([]int, 1)) // setup loop: exempt
+	}
+	for r := 0; r < rounds; r++ {
+		s := make([]int, 8)          // want "make inside a hot loop"
+		buf = append(buf, s...)      // want "append inside a hot loop"
+		f := func() int { return r } // want "closure inside a hot loop"
+		fmt.Println(f())             // want "fmt.Println inside a hot loop"
+		lit := []int{r}              // want "slice/map literal inside a hot loop"
+		p := &pair{r, r}             // want "&composite literal inside a hot loop"
+		buf[0] = lit[0] + p.a
+		if r < 0 {
+			// The branch exits the function: its allocation runs at
+			// most once per call, so it is cold and exempt.
+			return errors.New("negative round")
+		}
+	}
+	return nil
+}
+
+// hotSpawn: defer and go inside hot loops allocate per iteration.
+//
+//hardness:hotpath
+func hotSpawn(rounds int) {
+	for i := 0; i < rounds; i++ {
+		defer noop() // want "defer inside a hot loop"
+		go noop()    // want "goroutine launch inside a hot loop"
+	}
+}
+
+// hotBox exercises implicit interface conversions (boxing).
+//
+//hardness:hotpath
+func hotBox(vals []int) {
+	var x interface{}
+	for _, v := range vals {
+		sink(v) // want "boxed into interface parameter"
+		x = v   // want "boxed into interface on assignment"
+		x = nil // untyped nil never boxes: exempt
+	}
+	sink(x) // outside the loop, and interface-to-interface: exempt
+}
+
+// coldRun is not marked hotpath: allocation anywhere is fine.
+func coldRun(rounds int) []int {
+	var out []int
+	for i := 0; i < rounds; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// hotArena shows the sanctioned escape hatch for arena appends.
+//
+//hardness:hotpath
+func hotArena(vals, arena []int) []int {
+	for _, v := range vals {
+		arena = append(arena, v) //nolint:hardlint/hotalloc arena preallocated with cap by caller
+	}
+	return arena
+}

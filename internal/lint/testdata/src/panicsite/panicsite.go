@@ -1,0 +1,42 @@
+// Package panicsite is the golden fixture for the panicsite analyzer.
+package panicsite
+
+import "errors"
+
+// Parse returns errors like library code should: no panic, no finding.
+func Parse(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty input")
+	}
+	return len(s), nil
+}
+
+// Validate panics outside any sanctioned surface: flagged.
+func Validate(n int) {
+	if n < 0 {
+		panic("negative") // want "bare panic in library code"
+	}
+}
+
+// MustParse is a Must* wrapper over a checked API: the sanctioned
+// panic surface, exempt.
+func MustParse(s string) int {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// mustIndex: the unexported must* spelling is sanctioned too.
+func mustIndex(i, n int) int {
+	if i >= n {
+		panic("index out of range")
+	}
+	return i
+}
+
+// confined documents why its panic is safe via the escape hatch: exempt.
+func confined() {
+	panic("broken invariant") //nolint:hardlint/panicsite confined by sweep recovery in caller
+}

@@ -167,6 +167,8 @@ func (o *MaxISOracle) takeVertex(v int, alive bitset) int64 {
 
 // recurse explores the alive subgraph. aliveWeight is the total weight of
 // alive vertices; weight is the accumulated selection weight.
+//
+//hardness:hotpath
 func (o *MaxISOracle) recurse(alive bitset, aliveWeight, weight int64, depth int) {
 	if weight+aliveWeight <= o.best {
 		return
@@ -190,7 +192,7 @@ func (o *MaxISOracle) recurse(alive bitset, aliveWeight, weight int64, depth int
 					alive.clear(v)
 					aliveWeight -= o.weights[v]
 					weight += o.weights[v]
-					o.current = append(o.current, v)
+					o.current = append(o.current, v) //nolint:hardlint/hotalloc arena slice has cap n from grow(); never reallocates
 					changed = true
 					continue
 				}
@@ -200,7 +202,7 @@ func (o *MaxISOracle) recurse(alive bitset, aliveWeight, weight int64, depth int
 						removed := o.takeVertex(v, alive)
 						aliveWeight -= removed + o.weights[v]
 						weight += o.weights[v]
-						o.current = append(o.current, v)
+						o.current = append(o.current, v) //nolint:hardlint/hotalloc arena slice has cap n from grow(); never reallocates
 						changed = true
 					}
 				}

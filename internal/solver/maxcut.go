@@ -197,6 +197,7 @@ func (o *MaxCutOracle) grow(n int) {
 	o.side = make([]bool, n)
 }
 
+//hardness:hotpath
 func (o *MaxCutOracle) recurse(d int, current int64) bool {
 	if current >= o.target && !o.negative {
 		// With nonnegative weights any completion only adds cut weight.

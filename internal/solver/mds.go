@@ -271,6 +271,7 @@ func (o *MDSOracle) search(g *graph.Graph, dominatedInit bitset, cap int64, unit
 	return o.best, o.bestSet, true
 }
 
+//hardness:hotpath
 func (o *MDSOracle) recurse(dominated bitset, weight int64, depth int) {
 	n := o.n
 	undominated := n - dominated.count()
@@ -304,7 +305,7 @@ func (o *MDSOracle) recurse(dominated bitset, weight int64, depth int) {
 	for _, c := range o.candidatesOf[v] {
 		copy(next, dominated)
 		next.orInto(o.closed[c])
-		o.current = append(o.current, c)
+		o.current = append(o.current, c) //nolint:hardlint/hotalloc arena slice has cap n from grow(); never reallocates
 		o.recurse(next, weight+o.vw(c), depth+1)
 		o.current = o.current[:len(o.current)-1]
 	}
