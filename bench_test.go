@@ -37,6 +37,7 @@ import (
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
 	"congesthard/internal/pls"
+	"congesthard/internal/reduction"
 	"congesthard/internal/serve"
 	"congesthard/internal/serve/client"
 	"congesthard/internal/solver"
@@ -714,6 +715,60 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCertifyThroughput measures the Theorem 1.1 certification
+// engine end to end: one op is one exhaustive 2^(2K) sweep at k=2 (256
+// CONGEST runs, sharded across all cores), on an undirected pairing
+// (mds/collect, the Theorem 2.1 centerpiece) and a directed one
+// (hamlb/collect, Section 2.2). Reports pairs/s — the sweep throughput
+// the serving layer's /v1/stats also surfaces — for the BENCH
+// trajectory; allocs/op is CI-guarded, since near-flat allocations
+// across 256 pairs is the whole point of the worker-private delta
+// instances and simulator arenas.
+func BenchmarkCertifyThroughput(b *testing.B) {
+	b.Run("mds-collect", func(b *testing.B) {
+		fam, err := mdslb.New(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg := reduction.CollectMDS(fam)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var pairs int64
+		for i := 0; i < b.N; i++ {
+			rep, err := reduction.Certify(fam, alg, reduction.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Mismatches != 0 {
+				b.Fatalf("collect misdecided %d pairs", rep.Mismatches)
+			}
+			pairs += int64(rep.Completed)
+		}
+		b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+	})
+	b.Run("hamlb-collect", func(b *testing.B) {
+		fam, err := hamlb.New(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg := reduction.CollectHamPath(fam)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var pairs int64
+		for i := 0; i < b.N; i++ {
+			rep, err := reduction.CertifyDigraph(fam, alg, reduction.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Mismatches != 0 {
+				b.Fatalf("collect misdecided %d pairs", rep.Mismatches)
+			}
+			pairs += int64(rep.Completed)
+		}
+		b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+	})
 }
 
 // BenchmarkServeThroughput measures the job-serving layer end to end:

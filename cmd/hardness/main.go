@@ -14,11 +14,19 @@
 // (Theorem 1.1 made executable):
 //
 //	hardness -certify list                      # list family/algorithm pairings
-//	hardness -certify mds -alg collect          # exhaustive (K <= 6)
+//	hardness -certify mds -alg collect          # exhaustive (K <= 8)
 //	hardness -certify mds -alg greedy -pairs 32 # sampled
 //	hardness -certify maxcut -alg sampled -pairs 16 -seed 7
 //	hardness -certify hamlb -alg collect        # directed (dicongest) pairing
 //	hardness -certify dir-steiner -alg collect -pairs 8
+//
+// Sweeps are sharded across GOMAXPROCS cores by default and report the
+// same pairs, seeds and first error as a serial walk (bit-identical
+// output). -workers caps the shard count; -serial forces the single
+// goroutine reference walk:
+//
+//	hardness -certify mds -alg collect -workers 2
+//	hardness -certify mds -alg collect -serial
 //
 // Certification runs accept a deterministic fault plan (-faults, see the
 // faults package for the format), a wall-clock deadline (-timeout) and
@@ -87,7 +95,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids (the authoritative index)")
 	certify := flag.String("certify", "", "certify a family with -alg ('mds', 'mvc', 'maxcut', 'hamlb', 'dir-steiner', or 'list')")
 	alg := flag.String("alg", "", "algorithm for -certify (mds: collect|collect-retry|greedy; mvc: matching; maxcut: sampled|exact; hamlb: collect|greedy-path; dir-steiner: collect)")
-	pairs := flag.Int("pairs", 0, "sampled (x,y) pairs for -certify; 0 = exhaustive over all 2^(2K) pairs (K <= 6)")
+	pairs := flag.Int("pairs", 0, "sampled (x,y) pairs for -certify; 0 = exhaustive over all 2^(2K) pairs (K <= 8)")
+	serial := flag.Bool("serial", false, "run -certify on a single goroutine (the sharded sweep's reference order)")
+	workers := flag.Int("workers", 0, "worker goroutines for the -certify sweep; 0 = GOMAXPROCS")
 	faultSpec := flag.String("faults", "", "fault plan for -certify, e.g. 'drop=0.01,seed=7' or 'delay=2,crash=3@0,fail=1-2@5' (seed defaults to -seed)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for -certify; an interrupted sweep prints the partial report (0 = none)")
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
@@ -98,7 +108,7 @@ func main() {
 		// process exits 1 (the interrupted-run exit-code contract).
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := runCertify(ctx, os.Stdout, *certify, *alg, *pairs, *faultSpec, *timeout); err != nil {
+		if err := runCertify(ctx, os.Stdout, *certify, *alg, *pairs, *faultSpec, *timeout, *serial, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -114,7 +124,7 @@ func main() {
 // registry (the CLI and the job server certify exactly the same wirings)
 // and runs one sweep under ctx, printing the report — partial if the
 // sweep was interrupted — to out.
-func runCertify(ctx context.Context, out io.Writer, famName, algName string, pairs int, faultSpec string, timeout time.Duration) error {
+func runCertify(ctx context.Context, out io.Writer, famName, algName string, pairs int, faultSpec string, timeout time.Duration, serial bool, workers int) error {
 	reg := serve.DefaultRegistry()
 	if famName == "list" {
 		for _, p := range reg.List() {
@@ -134,6 +144,8 @@ func runCertify(ctx context.Context, out io.Writer, famName, algName string, pai
 		Pairs:            pairs,
 		Seed:             seed,
 		TranscriptChecks: 1,
+		Serial:           serial,
+		Workers:          workers,
 	}
 	if faultSpec != "" {
 		plan, err := faults.Parse(faultSpec)
@@ -152,9 +164,15 @@ func runCertify(ctx context.Context, out io.Writer, famName, algName string, pai
 		defer cancel()
 	}
 	fmt.Fprintf(out, "seed=%d\n", seed)
+	started := time.Now()
 	rep, err := run(ctx, cfg)
+	elapsed := time.Since(started)
 	if rep != nil {
 		printCertifyReport(out, rep)
+		if secs := elapsed.Seconds(); secs > 0 {
+			fmt.Fprintf(out, "  elapsed %s (%.0f pairs/s)\n",
+				elapsed.Round(time.Millisecond), float64(rep.Completed)/secs)
+		}
 	}
 	if err != nil {
 		if rep != nil {

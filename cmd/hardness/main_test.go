@@ -21,7 +21,7 @@ func TestRunCertifyCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var buf bytes.Buffer
-	err := runCertify(ctx, &buf, "mds", "greedy", 8, "", 0)
+	err := runCertify(ctx, &buf, "mds", "greedy", 8, "", 0, false, 0)
 	if err == nil {
 		t.Fatal("cancelled certify returned nil error")
 	}
@@ -47,7 +47,7 @@ func TestRunCertifySignalInterrupt(t *testing.T) {
 	// collect-retry pairs (each a full ARQ collect run) is well over
 	// 100ms of work, so the 20ms signal always lands mid-sweep.
 	start := time.Now()
-	err := runCertify(ctx, &buf, "mds", "collect-retry", 4096, "", 0)
+	err := runCertify(ctx, &buf, "mds", "collect-retry", 4096, "", 0, false, 0)
 	if err == nil {
 		t.Fatalf("signal-interrupted certify returned nil after %v; output:\n%s", time.Since(start), buf.String())
 	}
@@ -62,7 +62,7 @@ func TestRunCertifySignalInterrupt(t *testing.T) {
 // the same set.
 func TestRunCertifyListMatchesRegistry(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runCertify(context.Background(), &buf, "list", "", 0, "", 0); err != nil {
+	if err := runCertify(context.Background(), &buf, "list", "", 0, "", 0, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	got := strings.Fields(strings.TrimSpace(buf.String()))

@@ -28,6 +28,7 @@ func runServe(argv []string) error {
 	defaultTimeout := fs.Duration("default-timeout", 30*time.Second, "per-job deadline when the submission picks none")
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on the per-job deadline a submission may request")
 	cacheSize := fs.Int("cache", 16, "LRU capacity for built family bases")
+	sweepWorkers := fs.Int("sweep-workers", 0, "shards per certification sweep; 0 = GOMAXPROCS (consider 1 when -workers > 1 keeps all cores busy)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -38,6 +39,7 @@ func runServe(argv []string) error {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
+		SweepWorkers:   *sweepWorkers,
 	}, nil)
 
 	ln, err := net.Listen("tcp", *addr)

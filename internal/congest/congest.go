@@ -91,6 +91,47 @@ type Options struct {
 	// bit-identically, and with Faults == nil the round loop is untouched
 	// (still allocation-free, like the Meter hook).
 	Faults *faults.Plan
+	// Arena, if non-nil, lends Run reusable setup scratch — routing
+	// index, inbox buffers, fault rings — so a caller looping over many
+	// runs (the sharded certify sweep) amortizes the per-run setup
+	// allocations away. Results are bit-identical with or without an
+	// arena; an Arena must not be shared by concurrent Runs.
+	Arena *Arena
+}
+
+// Arena is reusable per-run scratch for Run: every internal buffer the
+// simulator would otherwise allocate per run (the dense routing table,
+// receive-slot map, cut classification, double-buffered inboxes, fault
+// rings, node table) is borrowed from the arena and grown on demand, so
+// steady-state reuse allocates only what escapes the run (Local views
+// and Result outputs). The zero value is ready to use. An arena is not
+// safe for concurrent use: give each goroutine its own.
+type Arena struct {
+	nodes       []Node
+	denseIdx    []int32
+	sparseIdx   map[int64]int32
+	recvAt      []int32
+	slotDir     []Direction
+	crashAt     []int32
+	crashed     []bool
+	ringPayload []int64
+	ringStamp   []int32
+	payload     []int64
+	stamp       []int32
+	lastSent    []int32
+	inbox       []Incoming
+	done        []bool
+}
+
+// arenaSlice returns *buf resized to n, reusing the backing array when
+// capacity allows; element contents are unspecified — callers that rely
+// on zero values must clear or overwrite.
+func arenaSlice[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // Metrics are the measured costs of a simulation.
@@ -131,11 +172,13 @@ type edgeIndex struct {
 	sparse map[int64]int32 // used when n > maxDenseEdgeIndex
 }
 
-func buildEdgeIndex(c *graph.CSR) *edgeIndex {
+// buildEdgeIndex constructs the routing index, borrowing the table (or
+// map) from the arena.
+func buildEdgeIndex(c *graph.CSR, ar *Arena) edgeIndex {
 	n := c.N()
-	ei := &edgeIndex{n: n}
+	ei := edgeIndex{n: n}
 	if n <= maxDenseEdgeIndex {
-		ei.dense = make([]int32, n*n)
+		ei.dense = arenaSlice(&ar.denseIdx, n*n)
 		for i := range ei.dense {
 			ei.dense[i] = -1
 		}
@@ -148,7 +191,12 @@ func buildEdgeIndex(c *graph.CSR) *edgeIndex {
 		}
 		return ei
 	}
-	ei.sparse = make(map[int64]int32, c.Slots())
+	if ar.sparseIdx == nil {
+		ar.sparseIdx = make(map[int64]int32, c.Slots())
+	} else {
+		clear(ar.sparseIdx)
+	}
+	ei.sparse = ar.sparseIdx
 	for v := 0; v < n; v++ {
 		nbrs, _ := c.Window(v)
 		base := c.Offset(v)
@@ -200,8 +248,12 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 
 	csr := g.Freeze()
 	slots := csr.Slots()
+	ar := opts.Arena
+	if ar == nil {
+		ar = &Arena{} // a throwaway arena: every borrow allocates fresh
+	}
 
-	nodes := make([]Node, n)
+	nodes := arenaSlice(&ar.nodes, n)
 	//hardness:setup
 	for v := 0; v < n; v++ {
 		nbrs, wts := csr.Window(v)
@@ -222,8 +274,8 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	// Routing index: for the directed edge v -> to stored at slot s in v's
 	// window, recvAt[s] is the slot of that message in to's inbox (the rank
 	// of v among to's sorted neighbors), and cutCross[s] marks cut edges.
-	ei := buildEdgeIndex(csr)
-	recvAt := make([]int32, slots)
+	ei := buildEdgeIndex(csr, ar)
+	recvAt := arenaSlice(&ar.recvAt, slots)
 	for v := 0; v < n; v++ {
 		nbrs, _ := csr.Window(v)
 		base := csr.Offset(v)
@@ -233,10 +285,11 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	}
 	// slotDir classifies each directed edge relative to the bipartition:
 	// internal, Alice→Bob or Bob→Alice. Built only when a cut is supplied,
-	// so unmetered runs pay nothing.
+	// so unmetered runs pay nothing. Every slot is written (the arena may
+	// hold a previous run's classification).
 	var slotDir []Direction
 	if opts.CutSide != nil {
-		slotDir = make([]Direction, slots)
+		slotDir = arenaSlice(&ar.slotDir, slots)
 		for v := 0; v < n; v++ {
 			nbrs, _ := csr.Window(v)
 			base := csr.Offset(v)
@@ -247,6 +300,8 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 					} else {
 						slotDir[base+i] = DirBobToAlice
 					}
+				} else {
+					slotDir[base+i] = DirInternal
 				}
 			}
 		}
@@ -276,14 +331,15 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 				inj.BindSlot(int32(base+i), v, int(to))
 			}
 		}
-		crashAt = make([]int32, n)
+		crashAt = arenaSlice(&ar.crashAt, n)
 		for v := range crashAt {
 			crashAt[v] = inj.CrashRound(v)
 		}
-		crashed = make([]bool, n)
+		crashed = arenaSlice(&ar.crashed, n)
+		clear(crashed)
 		ringD = inj.RingDepth()
-		ringPayload = make([]int64, slots*ringD)
-		ringStamp = make([]int32, slots*ringD)
+		ringPayload = arenaSlice(&ar.ringPayload, slots*ringD)
+		ringStamp = arenaSlice(&ar.ringStamp, slots*ringD)
 		for i := range ringStamp {
 			ringStamp[i] = -1
 		}
@@ -292,29 +348,31 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	// Double-buffered flat inboxes: slot s of the current buffer holds the
 	// payload sent over the corresponding directed edge, stamped with the
 	// round it is to be delivered in (stale slots are simply never read —
-	// no per-round clearing). arena holds the compacted inbox slices handed
-	// to Round, one CSR window per vertex, delivered in neighbor-rank
-	// (ascending sender id) order by construction. With faults on, the
-	// ring arrays above replace the double buffer.
+	// no per-round clearing, which also makes arena reuse across runs
+	// safe). inboxArena holds the compacted inbox slices handed to Round,
+	// one CSR window per vertex, delivered in neighbor-rank (ascending
+	// sender id) order by construction. With faults on, the ring arrays
+	// above replace the double buffer.
 	var curPayload, nextPayload []int64
 	var curStamp, nextStamp []int32
 	if inj == nil {
-		curPayload = make([]int64, slots)
-		nextPayload = make([]int64, slots)
-		curStamp = make([]int32, slots)
-		nextStamp = make([]int32, slots)
+		payload := arenaSlice(&ar.payload, 2*slots)
+		curPayload, nextPayload = payload[:slots], payload[slots:]
+		stamp := arenaSlice(&ar.stamp, 2*slots)
+		curStamp, nextStamp = stamp[:slots], stamp[slots:]
 		for i := 0; i < slots; i++ {
 			curStamp[i] = -1
 			nextStamp[i] = -1
 		}
 	}
-	lastSent := make([]int32, slots)
+	lastSent := arenaSlice(&ar.lastSent, slots)
 	for i := 0; i < slots; i++ {
 		lastSent[i] = -1
 	}
-	arena := make([]Incoming, slots)
+	inboxArena := arenaSlice(&ar.inbox, slots)
 
-	done := make([]bool, n)
+	done := arenaSlice(&ar.done, n)
+	clear(done)
 	metrics := Metrics{BandwidthBits: bandwidth}
 	maxPayload := int64(1)<<uint(bandwidth) - 1
 
@@ -341,7 +399,7 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 			if inj == nil {
 				for i := base; i < end; i++ {
 					if curStamp[i] == int32(round) {
-						arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: curPayload[i]}
+						inboxArena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: curPayload[i]}
 						cnt++
 					}
 				}
@@ -349,12 +407,12 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 				ri := round % ringD
 				for i := base; i < end; i++ {
 					if ringStamp[i*ringD+ri] == int32(round) {
-						arena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: ringPayload[i*ringD+ri]}
+						inboxArena[base+cnt] = Incoming{From: int(nbrs[i-base]), Payload: ringPayload[i*ringD+ri]}
 						cnt++
 					}
 				}
 			}
-			outbox, finished := nodes[v].Round(round, arena[base:base+cnt])
+			outbox, finished := nodes[v].Round(round, inboxArena[base:base+cnt])
 			if finished {
 				done[v] = true
 			} else {

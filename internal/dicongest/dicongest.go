@@ -96,6 +96,47 @@ type Options struct {
 	// together), and the same digraph + plan replays bit-identically.
 	// With Faults == nil the round loop is untouched.
 	Faults *faults.Plan
+	// Arena, if non-nil, lends Run reusable setup scratch — channel
+	// structure, routing index, inbox buffers, fault rings — mirroring
+	// congest.Options.Arena: a caller looping over many runs (the sharded
+	// certify sweep) amortizes the per-run setup allocations away.
+	// Results are bit-identical with or without an arena; an Arena must
+	// not be shared by concurrent Runs.
+	Arena *Arena
+}
+
+// Arena is reusable per-run scratch for Run — the dicongest twin of
+// congest.Arena. The zero value is ready to use; an arena is not safe
+// for concurrent use. Buffers that escape the run (Local views, Result
+// outputs) are never arena-backed.
+type Arena struct {
+	nodes       []Node
+	chOffsets   []int32
+	chNbr       []int32
+	chTmp       []int32
+	denseIdx    []int32
+	sparseIdx   map[int64]int32
+	recvAt      []int32
+	slotDir     []congest.Direction
+	crashAt     []int32
+	crashed     []bool
+	ringPayload []int64
+	ringStamp   []int32
+	payload     []int64
+	stamp       []int32
+	lastSent    []int32
+	inbox       []Incoming
+	done        []bool
+}
+
+// arenaSlice returns *buf resized to n, reusing the backing array when
+// capacity allows; element contents are unspecified.
+func arenaSlice[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // Metrics are the measured costs of a simulation.
@@ -159,11 +200,15 @@ func (ch *channels) rank(u, v int) int32 {
 // buildChannels merges the out-adjacency CSR windows with the in-adjacency
 // lists into the sorted link structure; antiparallel arc pairs collapse to
 // a single channel per direction.
-func buildChannels(d *graph.Digraph, out *graph.CSR) *channels {
+func buildChannels(d *graph.Digraph, out *graph.CSR, ar *Arena) channels {
 	n := d.N()
-	ch := &channels{offsets: make([]int32, n+1)}
-	ch.nbr = make([]int32, 0, 2*d.M())
-	var tmp []int32
+	ch := channels{offsets: arenaSlice(&ar.chOffsets, n+1)}
+	ch.offsets[0] = 0
+	if cap(ar.chNbr) < 2*d.M() {
+		ar.chNbr = make([]int32, 0, 2*d.M())
+	}
+	ch.nbr = ar.chNbr[:0]
+	tmp := ar.chTmp[:0]
 	for v := 0; v < n; v++ {
 		tmp = tmp[:0]
 		onbrs, _ := out.Window(v)
@@ -177,14 +222,18 @@ func buildChannels(d *graph.Digraph, out *graph.CSR) *channels {
 		ch.nbr = append(ch.nbr, tmp...)
 		ch.offsets[v+1] = int32(len(ch.nbr))
 	}
+	ar.chNbr = ch.nbr
+	ar.chTmp = tmp
 	return ch
 }
 
-func buildChannelIndex(ch *channels) *channelIndex {
+// buildChannelIndex constructs the routing index, borrowing the table
+// (or map) from the arena.
+func buildChannelIndex(ch *channels, ar *Arena) channelIndex {
 	n := len(ch.offsets) - 1
-	ci := &channelIndex{n: n}
+	ci := channelIndex{n: n}
 	if n <= maxDenseChannelIndex {
-		ci.dense = make([]int32, n*n)
+		ci.dense = arenaSlice(&ar.denseIdx, n*n)
 		for i := range ci.dense {
 			ci.dense[i] = -1
 		}
@@ -196,7 +245,12 @@ func buildChannelIndex(ch *channels) *channelIndex {
 		}
 		return ci
 	}
-	ci.sparse = make(map[int64]int32, ch.slots())
+	if ar.sparseIdx == nil {
+		ar.sparseIdx = make(map[int64]int32, ch.slots())
+	} else {
+		clear(ar.sparseIdx)
+	}
+	ci.sparse = ar.sparseIdx
 	for v := 0; v < n; v++ {
 		base := ch.offsets[v]
 		for i, to := range ch.window(v) {
@@ -271,10 +325,14 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	}
 
 	out := d.FreezePatchable()
-	ch := buildChannels(d, out)
+	ar := opts.Arena
+	if ar == nil {
+		ar = &Arena{} // a throwaway arena: every borrow allocates fresh
+	}
+	ch := buildChannels(d, out, ar)
 	slots := ch.slots()
 
-	nodes := make([]Node, n)
+	nodes := arenaSlice(&ar.nodes, n)
 	//hardness:setup
 	for v := 0; v < n; v++ {
 		onbrs, owts := out.Window(v)
@@ -300,8 +358,8 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	// Routing index: for the directed channel v -> to stored at slot s in
 	// v's link window, recvAt[s] is the slot of that message in to's inbox
 	// (the rank of v among to's sorted link neighbors).
-	ci := buildChannelIndex(ch)
-	recvAt := make([]int32, slots)
+	ci := buildChannelIndex(&ch, ar)
+	recvAt := arenaSlice(&ar.recvAt, slots)
 	for v := 0; v < n; v++ {
 		base := int(ch.offsets[v])
 		for i, to := range ch.window(v) {
@@ -314,7 +372,7 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	// pay nothing.
 	var slotDir []congest.Direction
 	if opts.CutSide != nil {
-		slotDir = make([]congest.Direction, slots)
+		slotDir = arenaSlice(&ar.slotDir, slots)
 		for v := 0; v < n; v++ {
 			base := int(ch.offsets[v])
 			for i, to := range ch.window(v) {
@@ -324,6 +382,8 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 					} else {
 						slotDir[base+i] = congest.DirBobToAlice
 					}
+				} else {
+					slotDir[base+i] = congest.DirInternal
 				}
 			}
 		}
@@ -351,14 +411,15 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 				inj.BindSlot(int32(base+i), v, int(to))
 			}
 		}
-		crashAt = make([]int32, n)
+		crashAt = arenaSlice(&ar.crashAt, n)
 		for v := range crashAt {
 			crashAt[v] = inj.CrashRound(v)
 		}
-		crashed = make([]bool, n)
+		crashed = arenaSlice(&ar.crashed, n)
+		clear(crashed)
 		ringD = inj.RingDepth()
-		ringPayload = make([]int64, slots*ringD)
-		ringStamp = make([]int32, slots*ringD)
+		ringPayload = arenaSlice(&ar.ringPayload, slots*ringD)
+		ringStamp = arenaSlice(&ar.ringStamp, slots*ringD)
 		for i := range ringStamp {
 			ringStamp[i] = -1
 		}
@@ -372,22 +433,23 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	var curPayload, nextPayload []int64
 	var curStamp, nextStamp []int32
 	if inj == nil {
-		curPayload = make([]int64, slots)
-		nextPayload = make([]int64, slots)
-		curStamp = make([]int32, slots)
-		nextStamp = make([]int32, slots)
+		payload := arenaSlice(&ar.payload, 2*slots)
+		curPayload, nextPayload = payload[:slots], payload[slots:]
+		stamp := arenaSlice(&ar.stamp, 2*slots)
+		curStamp, nextStamp = stamp[:slots], stamp[slots:]
 		for i := 0; i < slots; i++ {
 			curStamp[i] = -1
 			nextStamp[i] = -1
 		}
 	}
-	lastSent := make([]int32, slots)
+	lastSent := arenaSlice(&ar.lastSent, slots)
 	for i := 0; i < slots; i++ {
 		lastSent[i] = -1
 	}
-	arena := make([]Incoming, slots)
+	inboxArena := arenaSlice(&ar.inbox, slots)
 
-	done := make([]bool, n)
+	done := arenaSlice(&ar.done, n)
+	clear(done)
 	metrics := Metrics{BandwidthBits: bandwidth}
 	maxPayload := int64(1)<<uint(bandwidth) - 1
 
@@ -413,7 +475,7 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 			if inj == nil {
 				for i := base; i < end; i++ {
 					if curStamp[i] == int32(round) {
-						arena[base+cnt] = Incoming{From: int(window[i-base]), Payload: curPayload[i]}
+						inboxArena[base+cnt] = Incoming{From: int(window[i-base]), Payload: curPayload[i]}
 						cnt++
 					}
 				}
@@ -421,12 +483,12 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 				ri := round % ringD
 				for i := base; i < end; i++ {
 					if ringStamp[i*ringD+ri] == int32(round) {
-						arena[base+cnt] = Incoming{From: int(window[i-base]), Payload: ringPayload[i*ringD+ri]}
+						inboxArena[base+cnt] = Incoming{From: int(window[i-base]), Payload: ringPayload[i*ringD+ri]}
 						cnt++
 					}
 				}
 			}
-			outbox, finished := nodes[v].Round(round, arena[base:base+cnt])
+			outbox, finished := nodes[v].Round(round, inboxArena[base:base+cnt])
 			if finished {
 				done[v] = true
 			} else {

@@ -30,20 +30,24 @@ type DigraphAlgorithm struct {
 // (K <= MaxExhaustiveCertifyK), sampled otherwise — with the Alice/Bob
 // arc cut metered, and reports per-pair {rounds, cut traffic, output,
 // correct} plus the aggregate 2·T·B·|E_cut| budget against CC(f).
-// Families implementing lbfamily.DeltaDigraphFamily are walked
-// incrementally: the base instance is built once and consecutive pairs
-// differ by ApplyBit arc toggles (Gray-code order over the exhaustive
-// cube), with the patchable out-adjacency snapshot spliced in place
-// between runs; the rebuild path remains as fallback and reference
-// (differential-tested pair-for-pair).
+// Like Certify, the sweep is sharded by Gray-code column across
+// cfg.Workers workers: families implementing lbfamily.DeltaDigraphFamily
+// give each worker a private instance (BuildBase once, Clone per extra
+// worker) walked by ApplyBit arc toggles with the patchable
+// out-adjacency snapshot spliced in place between runs and a reused
+// dicongest arena; the rebuild path remains as fallback, and the
+// cfg.Serial walk as the bit-identical differential reference.
 func CertifyDigraph(fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config) (*Report, error) {
 	return CertifyDigraphCtx(context.Background(), fam, alg, cfg)
 }
 
 // CertifyDigraphCtx is CertifyDigraph with cancellation and panic
-// confinement, mirroring CertifyCtx: a cancelled or panicked sweep
-// returns the partial report (Pairs truncated to the completed count)
-// alongside a *lbfamily.CancelledError or *lbfamily.PanicError.
+// confinement, mirroring CertifyCtx: a cancelled sweep returns the
+// certified pairs alongside a *lbfamily.CancelledError whose
+// Completed/Total match the report, and a confined panic returns a
+// *lbfamily.PanicError naming the earliest failing pair in canonical
+// order with the report truncated to that pair's prefix. See Report for
+// the partial-report invariants.
 func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg DigraphAlgorithm, cfg Config) (*Report, error) {
 	if alg.Prepare == nil {
 		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
@@ -78,16 +82,16 @@ func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg Digr
 		Pairs:      make([]PairReport, len(xs)),
 	}
 	f := fam.Func()
-	checksLeft := cfg.TranscriptChecks
-	runPair := func(idx int, d *graph.Digraph, x, y comm.Bits) error {
+	// As in CertifyCtx, the transcript-checked pairs are the first
+	// cfg.TranscriptChecks canonical indices regardless of visit order.
+	runPair := func(arena *dicongest.Arena, idx int, d *graph.Digraph, x, y comm.Bits) error {
 		factory, decide, err := alg.Prepare(d, bandwidth, pairSeed(cfg.Seed, idx))
 		if err != nil {
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
-		opts := dicongest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults}
+		opts := dicongest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults, Arena: arena}
 		var res *dicongest.Result
-		if checksLeft > 0 {
-			checksLeft--
+		if idx < cfg.TranscriptChecks {
 			_, res, err = VerifyDigraphSimulation(d, side, factory, opts)
 		} else {
 			res, err = dicongest.Run(d, factory, opts)
@@ -114,42 +118,84 @@ func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg Digr
 	}
 
 	report.Total = len(xs)
-	completed := 0
-	step := func(idx int, d *graph.Digraph, x, y comm.Bits) error {
-		if err := ctx.Err(); err != nil {
-			return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
-		}
-		if err := safeStep(func() error { return runPair(idx, d, x, y) }, x, y); err != nil {
-			return err
-		}
-		completed++
-		if cfg.Progress != nil {
-			cfg.Progress(completed, report.Total)
-		}
-		return nil
-	}
-
-	sweep := func() error {
-		if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
-			return certifyDigraphDelta(df, xs, ys, step)
-		}
-		for idx := range xs {
-			d, err := fam.Build(xs[idx], ys[idx])
-			if err != nil {
-				return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+	if cfg.Serial {
+		completed := 0
+		step := func(idx int, d *graph.Digraph, x, y comm.Bits) error {
+			if err := ctx.Err(); err != nil {
+				return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
 			}
-			if err := step(idx, d, xs[idx], ys[idx]); err != nil {
+			if err := safeStep(func() error { return runPair(nil, idx, d, x, y) }, x, y); err != nil {
 				return err
 			}
+			completed++
+			if cfg.Progress != nil {
+				cfg.Progress(completed, report.Total)
+			}
+			return nil
 		}
-		return nil
+		sweep := func() error {
+			if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
+				return certifyDigraphDelta(df, xs, ys, step)
+			}
+			for idx := range xs {
+				d, err := fam.Build(xs[idx], ys[idx])
+				if err != nil {
+					return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+				}
+				if err := step(idx, d, xs[idx], ys[idx]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := sweep(); err != nil {
+			return partialReport(report, completed, f, err)
+		}
+		report.Completed = completed
+		report.finalize(f)
+		return report, nil
 	}
-	if err := sweep(); err != nil {
-		return partialReport(report, completed, f, err)
+
+	// Sharded sweep (the default) — see shard.go and the CertifyCtx twin.
+	// Delta instances come from one BuildBase plus Clones: digraph clones
+	// are cheap relative to a base rebuild and land each worker on an
+	// identical all-zeros instance.
+	colLen := 1
+	if exhaustive {
+		colLen = len(xs) >> uint(fam.K())
 	}
-	report.Completed = completed
-	report.finalize(f)
-	return report, nil
+	cols := (len(xs) + colLen - 1) / colLen
+	workers := sweepWorkers(cfg, cols)
+	arenas := make([]*dicongest.Arena, workers)
+	for i := range arenas {
+		arenas[i] = &dicongest.Arena{}
+	}
+	plan := &sweepPlan[*graph.Digraph]{
+		xs: xs, ys: ys, k: fam.K(), colLen: colLen, workers: workers,
+		run: func(worker, idx int, d *graph.Digraph, x, y comm.Bits) error {
+			return runPair(arenas[worker], idx, d, x, y)
+		},
+		progress: cfg.Progress,
+	}
+	if df, ok := fam.(lbfamily.DeltaDigraphFamily); ok && !cfg.ForceRebuild {
+		base, err := df.BuildBase()
+		if err != nil {
+			return nil, fmt.Errorf("delta base build: %w", err)
+		}
+		instances := make([]*graph.Digraph, workers)
+		instances[0] = base
+		for i := 1; i < workers; i++ {
+			if err := ctx.Err(); err != nil {
+				return partialReport(report, 0, f, &lbfamily.CancelledError{Total: report.Total, Err: err})
+			}
+			instances[i] = base.Clone()
+		}
+		plan.instances = instances
+		plan.applyBit = df.ApplyBit
+	} else {
+		plan.build = fam.Build
+	}
+	return resolveSweep(report, plan.execute(ctx), ctx.Err(), f)
 }
 
 // certifyDigraphDelta walks the pair list on a single mutable instance

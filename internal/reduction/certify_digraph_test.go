@@ -167,7 +167,7 @@ func TestCertifyDigraphExhaustiveRequiresSmallK(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = CertifyDigraph(fam, CollectHamPath(fam), Config{})
-	if err == nil || !strings.Contains(err.Error(), "K <= 6") ||
+	if err == nil || !strings.Contains(err.Error(), "K <= 8") ||
 		!strings.Contains(err.Error(), "sampled certification") {
 		t.Errorf("K=16 exhaustive certification accepted or error does not name the sampled alternative: %v", err)
 	}

@@ -43,10 +43,15 @@ func collectAlgorithm(name string, exact bool, eval func(component *graph.Graph)
 	}
 }
 
-// dominationNumber computes γ(g) exactly via the solver's decision oracle.
+// dominationNumber computes γ(g) exactly via the solver's decision
+// oracle. One arena-backed MDSOracle serves all n+1 size queries, so the
+// search allocates its solver scratch once per evaluation instead of
+// once per query — the eval runs inside every certified pair's collect
+// program, so this is certify-sweep hot.
 func dominationNumber(g *graph.Graph) (int64, error) {
+	var o solver.MDSOracle
 	for s := 0; s <= g.N(); s++ {
-		ok, err := solver.HasDominatingSetOfSize(g, s)
+		ok, err := o.HasDominatingSetOfSize(g, s)
 		if err != nil {
 			return 0, err
 		}

@@ -30,19 +30,29 @@ type Algorithm struct {
 }
 
 // MaxExhaustiveCertifyK is the largest input length K for exhaustive
-// certification: all 2^(2K) pairs are simulated, so the cap keeps the
-// workload at 4096 CONGEST runs. It is shared by Certify and
-// CertifyDigraph; beyond it, set Config.Pairs > 0 for sampled
-// certification.
-const MaxExhaustiveCertifyK = 6
+// certification: all 2^(2K) pairs are simulated, so the cap bounds the
+// worst case at 65536 CONGEST runs. The sharded sweep amortizes that
+// over GOMAXPROCS workers holding reused instances and arenas (per-pair
+// cost is one delta toggle plus one arena-backed run), which is what
+// lifted the cap from the serial era's K = 6. It is shared by Certify
+// and CertifyDigraph; beyond it, set Config.Pairs > 0 for sampled
+// certification, whose cost scales with Pairs/Workers instead of
+// 2^(2K)/Workers.
+const MaxExhaustiveCertifyK = 8
 
-// Config tunes Certify and CertifyDigraph.
+// Config tunes Certify and CertifyDigraph. The zero value selects the
+// exhaustive sharded sweep: all 2^(2K) pairs, GOMAXPROCS workers, seed 0,
+// the default bandwidth, no faults and no transcript checks.
 type Config struct {
 	// Pairs is the number of sampled (x, y) pairs; 0 selects exhaustive
 	// certification over all 2^(2K) pairs, which requires
 	// K <= MaxExhaustiveCertifyK.
 	Pairs int
-	// Seed drives pair sampling and the per-pair algorithm seeds.
+	// Seed drives pair sampling and the per-pair algorithm seeds. A
+	// pair's seed is a pure function of (Seed, idx), where idx is the
+	// pair's position in the canonical sweep order — never of the worker
+	// that happens to claim it — so the same Config produces bit-identical
+	// reports serial, sharded, and at any worker count.
 	Seed int64
 	// Bandwidth overrides the CONGEST bandwidth B (0 selects the default
 	// 2*ceil(log2(n+1))).
@@ -54,7 +64,9 @@ type Config struct {
 	// TranscriptChecks runs the Theorem 1.1 simulation-invariant check
 	// (VerifySimulation) on that many of the certified pairs: the run is
 	// replayed from Alice's side plus the recorded transcript and must
-	// reproduce her outputs and messages exactly.
+	// reproduce her outputs and messages exactly. The checked pairs are
+	// the first TranscriptChecks positions of the canonical sweep order,
+	// so the same pairs are checked regardless of worker scheduling.
 	TranscriptChecks int
 	// Faults injects a deterministic fault plan into every certified run
 	// (dropped, delayed or failed links, crashed nodes — see the faults
@@ -69,12 +81,32 @@ type Config struct {
 	MaxRounds int
 	// Progress, if non-nil, is called after every certified pair with the
 	// completed and total pair counts — the hook the serving layer uses
-	// to poll and stream per-pair job progress. It is called on the sweep
-	// goroutine; keep it cheap and non-blocking.
+	// to poll and stream per-pair job progress. Under the sharded sweep
+	// it is called from worker goroutines, but calls are serialized and
+	// completed is strictly increasing, so the hook itself needs no
+	// locking; keep it cheap and non-blocking, since it runs under the
+	// sweep's progress mutex.
 	Progress func(completed, total int)
+	// Serial runs the historical single-goroutine walk instead of the
+	// sharded sweep: one mutable delta instance (or per-pair rebuilds),
+	// pairs visited strictly in canonical order, no arena reuse. It is
+	// the differential-testing reference — the sharded sweep must produce
+	// a bit-identical Report — and the path whose partial reports are an
+	// exact prefix of the sweep order.
+	Serial bool
+	// Workers caps the sharded sweep's worker count; 0 selects
+	// GOMAXPROCS. Each worker holds a private instance (DeltaFamily base
+	// or per-pair rebuilds) and a private simulator arena, so memory
+	// scales linearly with Workers. Ignored when Serial is set.
+	Workers int
 }
 
-// PairReport is the measured outcome of one (x, y) certification run.
+// PairReport is the measured outcome of one (x, y) certification run:
+// the pair's inputs (cloned, safe to retain), the run's round and
+// message counts, the Alice/Bob cut traffic that enters the Theorem 1.1
+// budget, and the algorithm's output against the family predicate's
+// ground truth. Every PairReport in a returned Report — including a
+// partial one — is fully populated; there are no placeholder entries.
 type PairReport struct {
 	X, Y        comm.Bits
 	Rounds      int
@@ -106,31 +138,51 @@ type Report struct {
 	MaxCutBits int64
 	SimBits    int64
 	CCBound    float64
-	// Completed and Total count certified vs selected pairs. They differ
-	// only in a partial report: a cancelled or panicked sweep returns the
-	// pairs certified so far (Pairs is truncated to match) alongside the
-	// error.
+	// Completed and Total count certified vs selected pairs; Completed ==
+	// len(Pairs) always, and Completed == Total exactly when the sweep
+	// finished. They differ only in a partial report, which arrives
+	// alongside a non-nil error and comes in two shapes:
+	//
+	//   - *lbfamily.PanicError: Pairs is the exact canonical-order prefix
+	//     preceding the panicked pair (sharded sweeps discard any
+	//     later pairs that finished, matching the serial walk);
+	//   - *lbfamily.CancelledError: Pairs holds the pairs certified
+	//     before ctx fired, in canonical order; under a sharded sweep the
+	//     set may have gaps (workers stop mid-column), but the error's
+	//     Completed/Total always agree with len(Pairs)/Total.
+	//
+	// The aggregate fields (Mismatches, MaxRounds, MaxCutBits, SimBits)
+	// are computed over the included pairs only.
 	Completed int
 	Total     int
 }
 
 // Certify runs alg over (x, y) input pairs of fam — exhaustively when
-// cfg.Pairs == 0 (K <= 6), sampled otherwise — with the Alice/Bob cut
-// metered, and reports per-pair {rounds, cut traffic, output, correct}
-// plus the aggregate rounds·B·|E_cut| budget against CC(f). Families
-// implementing lbfamily.DeltaFamily are walked incrementally: the base
-// instance is built once and consecutive pairs differ by ApplyBit toggles
-// (Gray-code order over the exhaustive cube), instead of rebuilding every
-// G_{x,y}; the rebuild path remains as fallback and reference.
+// cfg.Pairs == 0 (K <= MaxExhaustiveCertifyK), sampled otherwise — with
+// the Alice/Bob cut metered, and reports per-pair {rounds, cut traffic,
+// output, correct} plus the aggregate rounds·B·|E_cut| budget against
+// CC(f). The sweep is sharded by Gray-code column across cfg.Workers
+// workers (GOMAXPROCS by default): for families implementing
+// lbfamily.DeltaFamily each worker holds a private base instance built
+// once from BuildBase and walks its claimed columns by ApplyBit toggles
+// (Hamming distance 1 between consecutive pairs of a column) with a
+// reused simulator arena, so steady-state allocations per pair are near
+// zero; other families rebuild each claimed G_{x,y} from scratch. Per-
+// pair seeds are keyed by canonical pair index, so the report is
+// bit-identical to the cfg.Serial reference walk at any worker count.
 func Certify(fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 	return CertifyCtx(context.Background(), fam, alg, cfg)
 }
 
-// CertifyCtx is Certify with cancellation and panic confinement: when ctx
-// fires mid-sweep, the walk stops and the partial report (Pairs truncated
-// to the completed count) is returned alongside a *lbfamily.CancelledError;
-// a panic inside one pair's run is returned as a *lbfamily.PanicError
-// naming the (x, y) pair, again with the partial report.
+// CertifyCtx is Certify with cancellation and panic confinement: when
+// ctx fires mid-sweep, workers stop claiming pairs and the partial
+// report (the certified pairs, in canonical order) is returned alongside
+// a *lbfamily.CancelledError whose Completed/Total match the report; a
+// panic inside one pair's run is confined and returned as a
+// *lbfamily.PanicError naming the earliest failing (x, y) pair in
+// canonical order, with the report truncated to that pair's prefix
+// exactly as the serial walk would have left it. See Report for the
+// partial-report invariants.
 func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Config) (*Report, error) {
 	if alg.Prepare == nil {
 		return nil, fmt.Errorf("algorithm %q has no Prepare", alg.Name)
@@ -165,16 +217,17 @@ func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Con
 		Pairs:      make([]PairReport, len(xs)),
 	}
 	f := fam.Func()
-	checksLeft := cfg.TranscriptChecks
-	runPair := func(idx int, g *graph.Graph, x, y comm.Bits) error {
+	// The transcript-checked pairs are the first cfg.TranscriptChecks
+	// canonical indices — a pure function of idx, not of visit order, so
+	// serial and sharded sweeps check (and replay) the same pairs.
+	runPair := func(arena *congest.Arena, idx int, g *graph.Graph, x, y comm.Bits) error {
 		factory, decide, err := alg.Prepare(g, bandwidth, pairSeed(cfg.Seed, idx))
 		if err != nil {
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
-		opts := congest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults}
+		opts := congest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults, Arena: arena}
 		var res *congest.Result
-		if checksLeft > 0 {
-			checksLeft--
+		if idx < cfg.TranscriptChecks {
 			_, res, err = VerifySimulation(g, side, factory, opts)
 		} else {
 			res, err = congest.Run(g, factory, opts)
@@ -201,42 +254,83 @@ func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Con
 	}
 
 	report.Total = len(xs)
-	completed := 0
-	step := func(idx int, g *graph.Graph, x, y comm.Bits) error {
-		if err := ctx.Err(); err != nil {
-			return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
-		}
-		if err := safeStep(func() error { return runPair(idx, g, x, y) }, x, y); err != nil {
-			return err
-		}
-		completed++
-		if cfg.Progress != nil {
-			cfg.Progress(completed, report.Total)
-		}
-		return nil
-	}
-
-	sweep := func() error {
-		if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
-			return certifyDelta(df, xs, ys, step)
-		}
-		for idx := range xs {
-			g, err := fam.Build(xs[idx], ys[idx])
-			if err != nil {
-				return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+	if cfg.Serial {
+		completed := 0
+		step := func(idx int, g *graph.Graph, x, y comm.Bits) error {
+			if err := ctx.Err(); err != nil {
+				return &lbfamily.CancelledError{Completed: completed, Total: report.Total, Err: err}
 			}
-			if err := step(idx, g, xs[idx], ys[idx]); err != nil {
+			if err := safeStep(func() error { return runPair(nil, idx, g, x, y) }, x, y); err != nil {
 				return err
 			}
+			completed++
+			if cfg.Progress != nil {
+				cfg.Progress(completed, report.Total)
+			}
+			return nil
 		}
-		return nil
+		sweep := func() error {
+			if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
+				return certifyDelta(df, xs, ys, step)
+			}
+			for idx := range xs {
+				g, err := fam.Build(xs[idx], ys[idx])
+				if err != nil {
+					return fmt.Errorf("build (%s,%s): %w", xs[idx], ys[idx], err)
+				}
+				if err := step(idx, g, xs[idx], ys[idx]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := sweep(); err != nil {
+			return partialReport(report, completed, f, err)
+		}
+		report.Completed = completed
+		report.finalize(f)
+		return report, nil
 	}
-	if err := sweep(); err != nil {
-		return partialReport(report, completed, f, err)
+
+	// Sharded sweep (the default): workers claim Gray-code columns — for
+	// exhaustive sweeps a fixed-y block of 2^K consecutive canonical
+	// indices, for sampled sweeps single pairs — and certify them on
+	// worker-private instances with worker-private simulator arenas.
+	colLen := 1
+	if exhaustive {
+		colLen = len(xs) >> uint(fam.K()) // 2^K pairs per fixed-y column
 	}
-	report.Completed = completed
-	report.finalize(f)
-	return report, nil
+	cols := (len(xs) + colLen - 1) / colLen
+	workers := sweepWorkers(cfg, cols)
+	arenas := make([]*congest.Arena, workers)
+	for i := range arenas {
+		arenas[i] = &congest.Arena{}
+	}
+	plan := &sweepPlan[*graph.Graph]{
+		xs: xs, ys: ys, k: fam.K(), colLen: colLen, workers: workers,
+		run: func(worker, idx int, g *graph.Graph, x, y comm.Bits) error {
+			return runPair(arenas[worker], idx, g, x, y)
+		},
+		progress: cfg.Progress,
+	}
+	if df, ok := fam.(lbfamily.DeltaFamily); ok && !cfg.ForceRebuild {
+		instances := make([]*graph.Graph, workers)
+		for i := range instances {
+			if err := ctx.Err(); err != nil {
+				return partialReport(report, 0, f, &lbfamily.CancelledError{Total: report.Total, Err: err})
+			}
+			base, err := df.BuildBase()
+			if err != nil {
+				return nil, fmt.Errorf("delta base build: %w", err)
+			}
+			instances[i] = base
+		}
+		plan.instances = instances
+		plan.applyBit = df.ApplyBit
+	} else {
+		plan.build = fam.Build
+	}
+	return resolveSweep(report, plan.execute(ctx), ctx.Err(), f)
 }
 
 // safeStep runs one pair's certification with panic confinement: a panic
@@ -296,7 +390,7 @@ func (r *Report) finalize(f comm.Function) {
 func certifyPairs(k int, cfg Config) (xs, ys []comm.Bits, exhaustive bool, err error) {
 	if cfg.Pairs <= 0 {
 		if k > MaxExhaustiveCertifyK {
-			return nil, nil, false, fmt.Errorf("exhaustive certification limited to K <= %d, got %d (set Config.Pairs > 0 for sampled certification)", MaxExhaustiveCertifyK, k)
+			return nil, nil, false, fmt.Errorf("exhaustive certification limited to K <= %d, got %d: 2^(2K) CONGEST runs exceed the sharded sweep's budget even across all cores; set Config.Pairs > 0 for sampled certification, which costs Pairs runs instead", MaxExhaustiveCertifyK, k)
 		}
 		var inputs []comm.Bits
 		if err := comm.AllBits(k, func(b comm.Bits) { inputs = append(inputs, b.Clone()) }); err != nil {
@@ -342,7 +436,9 @@ func certifyPairs(k int, cfg Config) (xs, ys []comm.Bits, exhaustive bool, err e
 }
 
 // certifyDelta walks the pair list on a single mutable instance built once
-// from BuildBase, toggling only the bits on which consecutive pairs differ.
+// from BuildBase, toggling only the bits on which consecutive pairs differ
+// — the Config.Serial reference walk; the sharded default runs the same
+// toggles on worker-private instances (see shard.go).
 func certifyDelta(df lbfamily.DeltaFamily, xs, ys []comm.Bits, runPair func(idx int, g *graph.Graph, x, y comm.Bits) error) error {
 	g, err := df.BuildBase()
 	if err != nil {

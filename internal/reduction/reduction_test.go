@@ -212,7 +212,7 @@ func TestCertifyExhaustiveRequiresSmallK(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Certify(fam, CollectMDS(fam), Config{})
-	if err == nil || !strings.Contains(err.Error(), "K <= 6") {
+	if err == nil || !strings.Contains(err.Error(), "K <= 8") {
 		t.Errorf("K=16 exhaustive certification accepted: %v", err)
 	}
 	if _, err := Certify(fam, CollectMDS(fam), Config{Pairs: 3, Seed: 9}); err != nil {

@@ -123,9 +123,12 @@ func TestCertifyCtxCancelReturnsPartialReport(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	// Cancel during pair 5's Prepare: that pair still completes (the
-	// context is checked at step entry), pair 6 does not start.
+	// context is checked at step entry), pair 6 does not start. The
+	// Serial walk makes the cancellation point exact; the sharded
+	// equivalent (with relaxed pair-set assertions) lives in
+	// TestCertifyShardedCancelMidSweep.
 	alg := cancelAfterPrepares(CollectMDS(fam), 5, cancel)
-	rep, err := CertifyCtx(ctx, fam, alg, Config{Seed: 1})
+	rep, err := CertifyCtx(ctx, fam, alg, Config{Seed: 1, Serial: true})
 
 	var cerr *lbfamily.CancelledError
 	if !errors.As(err, &cerr) {
@@ -185,7 +188,9 @@ func TestCertifyPanicNamesPairAndReturnsPartialReport(t *testing.T) {
 		}
 		return inner(g, bandwidth, seed)
 	}
-	rep, err := Certify(fam, alg, Config{Seed: 1})
+	// Serial pins the panic to the 7th pair of the walk; the sharded
+	// twin is TestCertifyShardedPanicNamesCanonicalFirstPair.
+	rep, err := Certify(fam, alg, Config{Seed: 1, Serial: true})
 
 	var perr *lbfamily.PanicError
 	if !errors.As(err, &perr) {
@@ -222,7 +227,7 @@ func TestCertifyDigraphCtxCancelReturnsPartialReport(t *testing.T) {
 		}
 		return inner(d, bandwidth, seed)
 	}
-	rep, err := CertifyDigraphCtx(ctx, fam, alg, Config{Seed: 1})
+	rep, err := CertifyDigraphCtx(ctx, fam, alg, Config{Seed: 1, Serial: true})
 
 	var cerr *lbfamily.CancelledError
 	if !errors.As(err, &cerr) {

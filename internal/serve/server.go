@@ -37,8 +37,17 @@ type Config struct {
 	// RetryAfter is the hint returned with shed submissions (default 1s).
 	RetryAfter time.Duration
 	// MaxPairs caps the sampled pair count a submission may request
-	// (default 4096, the exhaustive sweep's own worst case).
+	// (default 4096 = 2^(2*6), the exhaustive cost of a K = 6 family; the
+	// engine's own exhaustive cap is reduction.MaxExhaustiveCertifyK = 8,
+	// but sampled submissions past 4096 pairs cost more than just sweeping
+	// such a cube exhaustively).
 	MaxPairs int
+	// SweepWorkers is the shard count each certification sweep uses
+	// internally (reduction.Config.Workers): 0 lets every sweep fan out
+	// across GOMAXPROCS cores. With Workers > 1 concurrent jobs already
+	// saturate cores, so deployments running several sweeps at once may
+	// want SweepWorkers = 1.
+	SweepWorkers int
 	// MaxJobs bounds the finished-job history kept for report fetches
 	// (default 256); the oldest finished jobs are forgotten past it.
 	MaxJobs int
@@ -148,6 +157,14 @@ type Stats struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheSize      int   `json:"cache_size"`
 	Draining       bool  `json:"draining"`
+	// PairsCertified counts every (x, y) pair completed by finished jobs,
+	// including the partial prefixes of cancelled and failed sweeps.
+	PairsCertified int64 `json:"pairs_certified"`
+	// PairsPerSec is PairsCertified divided by the cumulative wall-clock
+	// time the finished sweeps spent running (0 until a job finishes).
+	// Concurrent jobs overlap their wall clocks, so this is per-sweep
+	// throughput, not aggregate server throughput.
+	PairsPerSec float64 `json:"pairs_per_sec"`
 }
 
 type job struct {
@@ -221,6 +238,10 @@ type Server struct {
 	draining atomic.Bool
 
 	submitted, shed, nDone, nFailed, nCancelled atomic.Int64
+
+	// pairsDone / sweepNanos accumulate the completed pair count and the
+	// running wall clock of finished sweeps for the /v1/stats throughput.
+	pairsDone, sweepNanos atomic.Int64
 
 	// jobCtx parents every job's deadline context; jobCancel is the drain
 	// deadline's force-cancel switch.
@@ -329,7 +350,9 @@ func (s *Server) run(j *job) {
 	if report != nil {
 		j.completed.Store(int64(report.Completed))
 		j.total.Store(int64(report.Total))
+		s.pairsDone.Add(int64(report.Completed))
 	}
+	s.sweepNanos.Add(j.finished.Sub(j.started).Nanoseconds())
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -368,6 +391,7 @@ func (s *Server) execute(ctx context.Context, j *job) (report *reduction.Report,
 		MaxRounds:        j.req.MaxRounds,
 		TranscriptChecks: j.req.TranscriptChecks,
 		Faults:           j.plan,
+		Workers:          s.cfg.SweepWorkers,
 		Progress: func(completed, total int) {
 			j.completed.Store(int64(completed))
 			j.total.Store(int64(total))
@@ -444,6 +468,11 @@ func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, evictions, size := s.cache.stats()
+	pairs := s.pairsDone.Load()
+	var perSec float64
+	if nanos := s.sweepNanos.Load(); nanos > 0 {
+		perSec = float64(pairs) / (float64(nanos) / float64(time.Second))
+	}
 	writeJSON(w, http.StatusOK, Stats{
 		Submitted:      s.submitted.Load(),
 		Shed:           s.shed.Load(),
@@ -456,6 +485,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: evictions,
 		CacheSize:      size,
 		Draining:       s.draining.Load(),
+		PairsCertified: pairs,
+		PairsPerSec:    perSec,
 	})
 }
 

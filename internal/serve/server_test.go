@@ -223,6 +223,15 @@ func TestServeChaos(t *testing.T) {
 	if stats.Shed < int64(shed) {
 		t.Fatalf("stats.Shed=%d < observed %d", stats.Shed, shed)
 	}
+	// Throughput accounting: the finished jobs above completed pairs
+	// (including the deadline job's partial prefix), so the cumulative
+	// counters are live.
+	if stats.PairsCertified < 8 {
+		t.Fatalf("stats.PairsCertified=%d after 8-pair jobs finished", stats.PairsCertified)
+	}
+	if stats.PairsPerSec <= 0 {
+		t.Fatalf("stats.PairsPerSec=%v with %d pairs certified", stats.PairsPerSec, stats.PairsCertified)
+	}
 
 	// Drain under a deadline shorter than the remaining slow work: the
 	// stragglers are cancelled (kind=drain), drain reports forced, and the
