@@ -36,6 +36,7 @@ import (
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
 	"congesthard/internal/limits"
+	"congesthard/internal/obs"
 	"congesthard/internal/pls"
 	"congesthard/internal/reduction"
 	"congesthard/internal/serve"
@@ -738,6 +739,32 @@ func BenchmarkCertifyThroughput(b *testing.B) {
 		var pairs int64
 		for i := 0; i < b.N; i++ {
 			rep, err := reduction.Certify(fam, alg, reduction.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Mismatches != 0 {
+				b.Fatalf("collect misdecided %d pairs", rep.Mismatches)
+			}
+			pairs += int64(rep.Completed)
+		}
+		b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/s")
+	})
+	// Metrics-on variant: the sub-name shares the mds-collect prefix on
+	// purpose, so the CI allocs guard for mds-collect also gates this
+	// path — per-pair timing plus three histogram observations must add
+	// O(1) allocations per sweep, not per pair.
+	b.Run("mds-collect-metrics", func(b *testing.B) {
+		fam, err := mdslb.New(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alg := reduction.CollectMDS(fam)
+		sm := obs.MustSweepMetrics(obs.NewRegistry())
+		b.ReportAllocs()
+		b.ResetTimer()
+		var pairs int64
+		for i := 0; i < b.N; i++ {
+			rep, err := reduction.Certify(fam, alg, reduction.Config{Seed: 1, Metrics: sm})
 			if err != nil {
 				b.Fatal(err)
 			}

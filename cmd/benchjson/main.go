@@ -11,10 +11,13 @@
 //	benchjson -diff [-max-regress 25] BENCH_old.json BENCH_new.json
 //
 // In convert mode, lines that are not benchmark results (headers, PASS,
-// ok) are ignored. In diff mode, per-benchmark ns/op deltas are printed
-// for every name present in both files (added and removed benchmarks are
-// noted but never fail the diff), and the exit status is non-zero when any
-// shared benchmark regressed by more than -max-regress percent.
+// ok) are ignored. In diff mode, per-benchmark ns/op and allocs/op deltas
+// are printed for every name present in both files (added and removed
+// benchmarks are noted but never fail the diff), and the exit status is
+// non-zero when any shared benchmark's ns/op regressed by more than
+// -max-regress percent, or — with -max-allocs-regress >= 0 — when its
+// allocs/op regressed past that gate (a formerly zero-alloc benchmark
+// that starts allocating always trips the allocs gate).
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "diff two BENCH_*.json files: benchjson -diff old.json new.json")
 	maxRegress := flag.Float64("max-regress", 25, "with -diff: fail when any shared benchmark's ns/op grew by more than this percentage")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", -1, "with -diff: fail when any shared benchmark's allocs/op grew by more than this percentage (negative disables the allocs gate; 0 also fails formerly zero-alloc benchmarks that now allocate)")
 	flag.Parse()
 	if *diff {
 		if flag.NArg() != 2 {
@@ -60,9 +64,9 @@ func main() {
 			os.Exit(1)
 		}
 		rows := Diff(old, cur)
-		regressed := PrintDiff(os.Stdout, rows, *maxRegress)
+		regressed := PrintDiff(os.Stdout, rows, *maxRegress, *maxAllocsRegress)
 		if regressed > 0 {
-			fmt.Fprintf(os.Stderr, "%d benchmark(s) regressed by more than %.0f%% ns/op\n", regressed, *maxRegress)
+			fmt.Fprintf(os.Stderr, "%d benchmark metric(s) regressed past the gates (ns/op > %.0f%%, allocs gate %.0f%%)\n", regressed, *maxRegress, *maxAllocsRegress)
 			os.Exit(1)
 		}
 		return
@@ -116,15 +120,18 @@ func readEntries(path string) ([]Entry, error) {
 }
 
 // DiffRow is one benchmark's trajectory step. Added/Removed rows carry only
-// the side that exists; shared rows carry the ns/op delta in percent
-// (positive = slower).
+// the side that exists; shared rows carry the ns/op and allocs/op deltas
+// in percent (positive = slower / more allocations).
 type DiffRow struct {
-	Name     string
-	OldNs    float64
-	NewNs    float64
-	DeltaPct float64
-	Added    bool
-	Removed  bool
+	Name           string
+	OldNs          float64
+	NewNs          float64
+	DeltaPct       float64
+	OldAllocs      int64
+	NewAllocs      int64
+	AllocsDeltaPct float64
+	Added          bool
+	Removed        bool
 }
 
 // Diff matches two artifact entry lists by benchmark name (first
@@ -145,42 +152,61 @@ func Diff(old, cur []Entry) []DiffRow {
 		seen[e.Name] = true
 		o, ok := oldByName[e.Name]
 		if !ok {
-			rows = append(rows, DiffRow{Name: e.Name, NewNs: e.NsPerOp, Added: true})
+			rows = append(rows, DiffRow{Name: e.Name, NewNs: e.NsPerOp, NewAllocs: e.AllocsPerOp, Added: true})
 			continue
 		}
-		row := DiffRow{Name: e.Name, OldNs: o.NsPerOp, NewNs: e.NsPerOp}
+		row := DiffRow{
+			Name:  e.Name,
+			OldNs: o.NsPerOp, NewNs: e.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: e.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
 			row.DeltaPct = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		if o.AllocsPerOp > 0 {
+			row.AllocsDeltaPct = float64(e.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100
 		}
 		rows = append(rows, row)
 	}
 	for _, e := range old {
 		if !seen[e.Name] {
 			seen[e.Name] = true
-			rows = append(rows, DiffRow{Name: e.Name, OldNs: e.NsPerOp, Removed: true})
+			rows = append(rows, DiffRow{Name: e.Name, OldNs: e.NsPerOp, OldAllocs: e.AllocsPerOp, Removed: true})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows
 }
 
-// PrintDiff renders the rows and returns how many shared benchmarks
-// regressed beyond maxRegress percent.
-func PrintDiff(w io.Writer, rows []DiffRow, maxRegress float64) int {
+// PrintDiff renders the rows — ns/op and allocs/op deltas side by side —
+// and returns how many shared benchmarks regressed: past maxRegress
+// percent ns/op, or (when maxAllocsRegress >= 0) past maxAllocsRegress
+// percent allocs/op. A zero-alloc benchmark that starts allocating is
+// always an allocs regression when the allocs gate is on.
+func PrintDiff(w io.Writer, rows []DiffRow, maxRegress, maxAllocsRegress float64) int {
 	regressed := 0
 	for _, r := range rows {
 		switch {
 		case r.Added:
-			fmt.Fprintf(w, "%-60s %14s -> %12.1f ns/op  (new)\n", r.Name, "-", r.NewNs)
+			fmt.Fprintf(w, "%-60s %14s -> %12.1f ns/op  %10s -> %8d allocs/op  (new)\n",
+				r.Name, "-", r.NewNs, "-", r.NewAllocs)
 		case r.Removed:
-			fmt.Fprintf(w, "%-60s %14.1f -> %12s ns/op  (removed)\n", r.Name, r.OldNs, "-")
+			fmt.Fprintf(w, "%-60s %14.1f -> %12s ns/op  %10d -> %8s allocs/op  (removed)\n",
+				r.Name, r.OldNs, "-", r.OldAllocs, "-")
 		default:
 			marker := ""
 			if r.DeltaPct > maxRegress {
-				marker = "  REGRESSION"
+				marker = "  REGRESSION(ns/op)"
 				regressed++
 			}
-			fmt.Fprintf(w, "%-60s %14.1f -> %12.1f ns/op  %+7.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, marker)
+			allocsUp := r.AllocsDeltaPct > maxAllocsRegress ||
+				(r.OldAllocs == 0 && r.NewAllocs > 0)
+			if maxAllocsRegress >= 0 && allocsUp {
+				marker += "  REGRESSION(allocs/op)"
+				regressed++
+			}
+			fmt.Fprintf(w, "%-60s %14.1f -> %12.1f ns/op  %+7.1f%%  %10d -> %8d allocs/op  %+7.1f%%%s\n",
+				r.Name, r.OldNs, r.NewNs, r.DeltaPct, r.OldAllocs, r.NewAllocs, r.AllocsDeltaPct, marker)
 		}
 	}
 	return regressed

@@ -71,14 +71,57 @@ func TestDiffMatchesByNameAndFlagsRegressions(t *testing.T) {
 		t.Errorf("gone row not marked removed: %+v", r)
 	}
 	var out strings.Builder
-	if got := PrintDiff(&out, rows, 25); got != 1 {
+	if got := PrintDiff(&out, rows, 25, -1); got != 1 {
 		t.Errorf("regressed = %d, want 1 (only B; added/removed rows never fail)", got)
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("report missing REGRESSION marker:\n%s", out.String())
 	}
-	if got := PrintDiff(&out, rows, 35); got != 0 {
+	if got := PrintDiff(&out, rows, 35, -1); got != 0 {
 		t.Errorf("regressed = %d at 35%% threshold, want 0", got)
+	}
+}
+
+func TestDiffTracksAllocs(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkHot-8", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkCold-8", NsPerOp: 100, AllocsPerOp: 100},
+	}
+	cur := []Entry{
+		{Name: "BenchmarkHot-8", NsPerOp: 100, AllocsPerOp: 3},    // 0 -> 3: zero-alloc path broken
+		{Name: "BenchmarkCold-8", NsPerOp: 100, AllocsPerOp: 120}, // +20%
+	}
+	rows := Diff(old, cur)
+	byName := map[string]DiffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkCold-8"]; r.OldAllocs != 100 || r.NewAllocs != 120 || r.AllocsDeltaPct < 19.9 || r.AllocsDeltaPct > 20.1 {
+		t.Errorf("cold row %+v", r)
+	}
+	if r := byName["BenchmarkHot-8"]; r.OldAllocs != 0 || r.NewAllocs != 3 || r.AllocsDeltaPct != 0 {
+		t.Errorf("hot row %+v (zero baseline must not divide)", r)
+	}
+
+	// Gate off: allocs growth alone never fails.
+	var out strings.Builder
+	if got := PrintDiff(&out, rows, 25, -1); got != 0 {
+		t.Errorf("allocs gate disabled but regressed = %d", got)
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("report missing allocs column:\n%s", out.String())
+	}
+	// Gate at 25%: the 0 -> 3 break trips it, the +20% does not.
+	out.Reset()
+	if got := PrintDiff(&out, rows, 25, 25); got != 1 {
+		t.Errorf("regressed = %d at allocs gate 25%%, want 1 (the 0->3 break)", got)
+	}
+	if !strings.Contains(out.String(), "REGRESSION(allocs/op)") {
+		t.Errorf("report missing allocs regression marker:\n%s", out.String())
+	}
+	// Gate at 0%: both trip.
+	if got := PrintDiff(&out, rows, 25, 0); got != 2 {
+		t.Errorf("regressed = %d at allocs gate 0%%, want 2", got)
 	}
 }
 

@@ -16,11 +16,11 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"congesthard/internal/obs"
 	"congesthard/internal/serve"
 	"congesthard/internal/serve/client"
 )
@@ -49,9 +49,12 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// Latencies go into the same fixed-bucket histogram type the server
+	// exports through /v1/metrics, so hardload's p50/p99 and the server's
+	// dashboards quantize identically. 1ms..~9h in x2 steps; Observe is
+	// lock-free, so workers record without a shared mutex.
+	latencies := obs.MustHistogram(obs.ExpBuckets(0.001, 2, 25))
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
 		done      atomic.Int64
 		failed    atomic.Int64
 		cancelled atomic.Int64
@@ -92,9 +95,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "wait job %s: %v\n", st.ID, err)
 					continue
 				}
-				mu.Lock()
-				latencies = append(latencies, time.Since(jobStart))
-				mu.Unlock()
+				latencies.Observe(time.Since(jobStart).Seconds())
 				switch st.State {
 				case serve.StateDone:
 					done.Add(1)
@@ -113,21 +114,13 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	quantile := func(q float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		idx := int(q * float64(len(latencies)-1))
-		return latencies[idx]
-	}
 	completed := done.Load() + failed.Load() + cancelled.Load()
 	rps := float64(completed) / elapsed.Seconds()
 	fmt.Printf("jobs=%d done=%d failed=%d cancelled=%d shed429=%d errors=%d\n",
 		*n, done.Load(), failed.Load(), cancelled.Load(), shed.Load(), errs.Load())
 	fmt.Printf("p50=%.1fms p99=%.1fms rps=%.1f elapsed=%.2fs\n",
-		float64(quantile(0.50).Microseconds())/1000,
-		float64(quantile(0.99).Microseconds())/1000,
+		latencies.Quantile(0.50)*1000,
+		latencies.Quantile(0.99)*1000,
 		rps, elapsed.Seconds())
 	if errs.Load() > 0 {
 		os.Exit(1)

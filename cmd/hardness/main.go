@@ -36,6 +36,12 @@
 //
 //	hardness -certify mds -alg collect-retry -faults drop=0.01,seed=7 -timeout 30s
 //
+// -trace prints one line per simulated round (pair, round, messages sent,
+// delivered, dropped, live nodes); it forces the serial walk and skips
+// transcript replays so every pair traces exactly once:
+//
+//	hardness -certify mds -alg collect -pairs 4 -trace | grep 'trace pair=0 '
+//
 // Serve mode runs the same pairings as a long-lived HTTP job service with
 // bounded concurrency, load shedding and graceful drain (see the serve
 // package):
@@ -59,6 +65,7 @@ import (
 	"congesthard/internal/aggregate"
 	"congesthard/internal/algorithms"
 	"congesthard/internal/comm"
+	"congesthard/internal/congest"
 	"congesthard/internal/constructions/apxmaxislb"
 	"congesthard/internal/constructions/boundedlb"
 	"congesthard/internal/constructions/hamlb"
@@ -100,6 +107,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the -certify sweep; 0 = GOMAXPROCS")
 	faultSpec := flag.String("faults", "", "fault plan for -certify, e.g. 'drop=0.01,seed=7' or 'delay=2,crash=3@0,fail=1-2@5' (seed defaults to -seed)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for -certify; an interrupted sweep prints the partial report (0 = none)")
+	trace := flag.Bool("trace", false, "print one line per simulated round for -certify (implies -serial; disables transcript replays so each pair is traced once)")
 	flag.Int64Var(&seed, "seed", 1, "seed for the randomized experiments")
 	flag.Parse()
 	if *certify != "" {
@@ -108,7 +116,7 @@ func main() {
 		// process exits 1 (the interrupted-run exit-code contract).
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := runCertify(ctx, os.Stdout, *certify, *alg, *pairs, *faultSpec, *timeout, *serial, *workers); err != nil {
+		if err := runCertify(ctx, os.Stdout, *certify, *alg, *pairs, *faultSpec, *timeout, *serial, *workers, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -124,7 +132,7 @@ func main() {
 // registry (the CLI and the job server certify exactly the same wirings)
 // and runs one sweep under ctx, printing the report — partial if the
 // sweep was interrupted — to out.
-func runCertify(ctx context.Context, out io.Writer, famName, algName string, pairs int, faultSpec string, timeout time.Duration, serial bool, workers int) error {
+func runCertify(ctx context.Context, out io.Writer, famName, algName string, pairs int, faultSpec string, timeout time.Duration, serial bool, workers int, trace bool) error {
 	reg := serve.DefaultRegistry()
 	if famName == "list" {
 		for _, p := range reg.List() {
@@ -146,6 +154,17 @@ func runCertify(ctx context.Context, out io.Writer, famName, algName string, pai
 		TranscriptChecks: 1,
 		Serial:           serial,
 		Workers:          workers,
+	}
+	if trace {
+		// Round lines from sharded workers would interleave, and a
+		// transcript replay simulates its pair a second time (double
+		// round lines) — force the serial reference walk and skip the
+		// replays so each pair traces exactly once, in canonical order.
+		cfg.Serial = true
+		cfg.TranscriptChecks = 0
+		cfg.Trace = func(idx int, x, y comm.Bits) congest.Tracer {
+			return &lineTracer{out: out, idx: idx, x: x, y: y}
+		}
 	}
 	if faultSpec != "" {
 		plan, err := faults.Parse(faultSpec)
@@ -181,6 +200,23 @@ func runCertify(ctx context.Context, out io.Writer, famName, algName string, pai
 		return err
 	}
 	return nil
+}
+
+// lineTracer prints one greppable line per simulated round:
+//
+//	trace pair=3 x=0010 y=0010 round=0 sent=24 delivered=24 dropped=0 active=12
+//
+// It implements congest.Tracer; runCertify wires one per pair via
+// reduction.Config.Trace when -trace is set.
+type lineTracer struct {
+	out  io.Writer
+	idx  int
+	x, y comm.Bits
+}
+
+func (l *lineTracer) ObserveRound(t congest.RoundTrace) {
+	fmt.Fprintf(l.out, "trace pair=%d x=%s y=%s round=%d sent=%d delivered=%d dropped=%d active=%d\n",
+		l.idx, l.x, l.y, t.Round, t.Sent, t.Delivered, t.Dropped, t.Active)
 }
 
 func printCertifyReport(out io.Writer, rep *reduction.Report) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,7 +22,7 @@ func TestRunCertifyCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var buf bytes.Buffer
-	err := runCertify(ctx, &buf, "mds", "greedy", 8, "", 0, false, 0)
+	err := runCertify(ctx, &buf, "mds", "greedy", 8, "", 0, false, 0, false)
 	if err == nil {
 		t.Fatal("cancelled certify returned nil error")
 	}
@@ -47,7 +48,7 @@ func TestRunCertifySignalInterrupt(t *testing.T) {
 	// collect-retry pairs (each a full ARQ collect run) is well over
 	// 100ms of work, so the 20ms signal always lands mid-sweep.
 	start := time.Now()
-	err := runCertify(ctx, &buf, "mds", "collect-retry", 4096, "", 0, false, 0)
+	err := runCertify(ctx, &buf, "mds", "collect-retry", 4096, "", 0, false, 0, false)
 	if err == nil {
 		t.Fatalf("signal-interrupted certify returned nil after %v; output:\n%s", time.Since(start), buf.String())
 	}
@@ -57,12 +58,50 @@ func TestRunCertifySignalInterrupt(t *testing.T) {
 	}
 }
 
+// TestRunCertifyTrace: -trace emits one greppable line per simulated
+// round, pairs appear in canonical serial order, and the summed rounds
+// match the report the same run prints.
+func TestRunCertifyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runCertify(context.Background(), &buf, "mds", "collect", 4, "", 0, false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var traceLines int
+	lastPair := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "trace pair=") {
+			continue
+		}
+		traceLines++
+		for _, field := range []string{"x=", "y=", "round=", "sent=", "delivered=", "dropped=", "active="} {
+			if !strings.Contains(line, " "+field) {
+				t.Fatalf("trace line missing %q: %q", field, line)
+			}
+		}
+		var pair int
+		if _, err := fmt.Sscanf(line, "trace pair=%d", &pair); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		if pair < lastPair {
+			t.Fatalf("trace pair %d after pair %d: -trace must run serially", pair, lastPair)
+		}
+		lastPair = pair
+	}
+	if traceLines == 0 {
+		t.Fatalf("no trace lines in output:\n%s", out)
+	}
+	if !strings.Contains(out, "certify family=mds") {
+		t.Fatalf("report missing after trace lines:\n%s", out)
+	}
+}
+
 // TestRunCertifyListMatchesRegistry: -certify list prints exactly the
 // shared registry's pairings, keeping the CLI and the job server wired to
 // the same set.
 func TestRunCertifyListMatchesRegistry(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runCertify(context.Background(), &buf, "list", "", 0, "", 0, false, 0); err != nil {
+	if err := runCertify(context.Background(), &buf, "list", "", 0, "", 0, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	got := strings.Fields(strings.TrimSpace(buf.String()))

@@ -29,6 +29,7 @@ func runServe(argv []string) error {
 	maxTimeout := fs.Duration("max-timeout", 2*time.Minute, "cap on the per-job deadline a submission may request")
 	cacheSize := fs.Int("cache", 16, "LRU capacity for built family bases")
 	sweepWorkers := fs.Int("sweep-workers", 0, "shards per certification sweep; 0 = GOMAXPROCS (consider 1 when -workers > 1 keeps all cores busy)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/ (off by default: profiling endpoints expose internals and burn CPU)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -40,6 +41,7 @@ func runServe(argv []string) error {
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cacheSize,
 		SweepWorkers:   *sweepWorkers,
+		EnablePprof:    *enablePprof,
 	}, nil)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -91,6 +91,13 @@ type Options struct {
 	// bit-identically, and with Faults == nil the round loop is untouched
 	// (still allocation-free, like the Meter hook).
 	Faults *faults.Plan
+	// Trace, if non-nil, observes every synchronous round after it
+	// executes (see Tracer and RoundTrace). Strictly opt-in like Meter
+	// and Faults: with Trace == nil the round loop pays one nil-check
+	// per round and stays allocation-free; with a tracer installed the
+	// callback receives a stack-passed struct, so an allocation-free
+	// tracer keeps the run allocation-free.
+	Trace Tracer
 	// Arena, if non-nil, lends Run reusable setup scratch — routing
 	// index, inbox buffers, fault rings — so a caller looping over many
 	// runs (the sharded certify sweep) amortizes the per-run setup
@@ -375,12 +382,18 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 	clear(done)
 	metrics := Metrics{BandwidthBits: bandwidth}
 	maxPayload := int64(1)<<uint(bandwidth) - 1
+	// Per-round trace accounting: plain integer bookkeeping kept cheap
+	// enough to run unconditionally; the only per-round branch Trace
+	// adds is the single nil-check at the bottom of the loop.
+	trActive := n
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, RoundsExceededError(maxRounds, done)
 		}
 		allDone := true
+		trSentBase := metrics.Messages
+		trDelivered, trDropped := 0, 0
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -391,6 +404,7 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 				// to any terminated node, and it produces no output.
 				done[v] = true
 				crashed[v] = true
+				trActive--
 				continue
 			}
 			base, end := csr.Offset(v), csr.Offset(v+1)
@@ -412,9 +426,11 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 					}
 				}
 			}
+			trDelivered += cnt
 			outbox, finished := nodes[v].Round(round, inboxArena[base:base+cnt])
 			if finished {
 				done[v] = true
+				trActive--
 			} else {
 				allDone = false
 			}
@@ -437,6 +453,8 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 					cell := int(recvAt[s])*ringD + at%ringD
 					ringPayload[cell] = msg.Payload
 					ringStamp[cell] = int32(at)
+				} else {
+					trDropped++
 				}
 				metrics.Messages++
 				if slotDir != nil {
@@ -452,6 +470,15 @@ func Run(g *graph.Graph, factory Factory, opts Options) (*Result, error) {
 			}
 		}
 		metrics.Rounds = round + 1
+		if opts.Trace != nil {
+			opts.Trace.ObserveRound(RoundTrace{
+				Round:     round,
+				Sent:      int(metrics.Messages - trSentBase),
+				Delivered: trDelivered,
+				Dropped:   trDropped,
+				Active:    trActive,
+			})
+		}
 		if allDone {
 			// Messages sent in the final round (or still delayed in the
 			// ring) would be delivered to already-terminated nodes; they

@@ -379,6 +379,87 @@ func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
 	if longF > shortF {
 		t.Errorf("faults-on per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortF, longF)
 	}
+
+	// Trace-on must be O(1) allocs per round too: the callback receives
+	// a stack-passed RoundTrace and this tracer only adds integers.
+	// (Trace-off is the three modes above — the nil-check is free.)
+	tracer := &countingTracer{}
+	tracedWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(g, newChatter(rounds), Options{Trace: tracer}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shortT := testing.AllocsPerRun(5, tracedWith(10))
+	longT := testing.AllocsPerRun(5, tracedWith(1010))
+	if longT > shortT {
+		t.Errorf("traced per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortT, longT)
+	}
+}
+
+// countingTracer accumulates RoundTrace fields without allocating, so
+// traced steady-state assertions measure the simulator, not the tracer.
+type countingTracer struct {
+	rounds, sent, delivered, dropped, lastActive, lastRound int
+}
+
+func (c *countingTracer) ObserveRound(t RoundTrace) {
+	c.rounds++
+	c.sent += t.Sent
+	c.delivered += t.Delivered
+	c.dropped += t.Dropped
+	c.lastActive = t.Active
+	c.lastRound = t.Round
+}
+
+func TestTraceObservesEveryRound(t *testing.T) {
+	g, err := graph.Cycle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTracer{}
+	res, err := Run(g, newChatter(8), Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.rounds != res.Rounds || tr.lastRound != res.Rounds-1 {
+		t.Errorf("tracer saw %d rounds (last %d), metrics say %d", tr.rounds, tr.lastRound, res.Rounds)
+	}
+	if int64(tr.sent) != res.Messages {
+		t.Errorf("traced sent %d != metered messages %d", tr.sent, res.Messages)
+	}
+	// Every chatter message is delivered: sends stop a round before the
+	// nodes terminate, so nothing is ever addressed to a finished node.
+	if tr.delivered != tr.sent {
+		t.Errorf("traced delivered %d != sent %d on a fault-free run", tr.delivered, tr.sent)
+	}
+	if tr.dropped != 0 {
+		t.Errorf("traced %d drops on a fault-free run", tr.dropped)
+	}
+	if tr.lastActive != 0 {
+		t.Errorf("last round reports %d active nodes, want 0", tr.lastActive)
+	}
+}
+
+func TestTraceCountsInjectorDrops(t *testing.T) {
+	// Drop-only plan (no delay): every sent message is either delivered
+	// next round or counted dropped, so the trace totals must balance.
+	g, err := graph.Cycle(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingTracer{}
+	plan := &faults.Plan{Seed: 11, DropProb: 0.3}
+	if _, err := Run(g, newChatter(8), Options{Trace: tr, Faults: plan}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.dropped == 0 {
+		t.Fatal("30% drop plan traced zero drops")
+	}
+	if tr.delivered != tr.sent-tr.dropped {
+		t.Errorf("delivered %d != sent %d - dropped %d", tr.delivered, tr.sent, tr.dropped)
+	}
 }
 
 func TestMeterRequiresBipartition(t *testing.T) {

@@ -96,6 +96,12 @@ type Options struct {
 	// together), and the same digraph + plan replays bit-identically.
 	// With Faults == nil the round loop is untouched.
 	Faults *faults.Plan
+	// Trace, if non-nil, observes every synchronous round after it
+	// executes, exactly as in congest.Options: one nil-check per round
+	// when disabled, a stack-passed congest.RoundTrace per round when
+	// enabled. The congest.Tracer interface is shared between both
+	// simulators, so one tracer can watch a mixed sweep.
+	Trace congest.Tracer
 	// Arena, if non-nil, lends Run reusable setup scratch — channel
 	// structure, routing index, inbox buffers, fault rings — mirroring
 	// congest.Options.Arena: a caller looping over many runs (the sharded
@@ -452,12 +458,17 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 	clear(done)
 	metrics := Metrics{BandwidthBits: bandwidth}
 	maxPayload := int64(1)<<uint(bandwidth) - 1
+	// Per-round trace accounting, mirroring congest.Run: unconditional
+	// integer bookkeeping, one nil-check per round.
+	trActive := n
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, congest.RoundsExceededError(maxRounds, done)
 		}
 		allDone := true
+		trSentBase := metrics.Messages
+		trDelivered, trDropped := 0, 0
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -467,6 +478,7 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 				// and produces no output.
 				done[v] = true
 				crashed[v] = true
+				trActive--
 				continue
 			}
 			base, end := int(ch.offsets[v]), int(ch.offsets[v+1])
@@ -488,9 +500,11 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 					}
 				}
 			}
+			trDelivered += cnt
 			outbox, finished := nodes[v].Round(round, inboxArena[base:base+cnt])
 			if finished {
 				done[v] = true
+				trActive--
 			} else {
 				allDone = false
 			}
@@ -513,6 +527,8 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 					cell := int(recvAt[s])*ringD + at%ringD
 					ringPayload[cell] = msg.Payload
 					ringStamp[cell] = int32(at)
+				} else {
+					trDropped++
 				}
 				metrics.Messages++
 				if slotDir != nil {
@@ -528,6 +544,15 @@ func Run(d *graph.Digraph, factory Factory, opts Options) (*Result, error) {
 			}
 		}
 		metrics.Rounds = round + 1
+		if opts.Trace != nil {
+			opts.Trace.ObserveRound(congest.RoundTrace{
+				Round:     round,
+				Sent:      int(metrics.Messages - trSentBase),
+				Delivered: trDelivered,
+				Dropped:   trDropped,
+				Active:    trActive,
+			})
+		}
 		if allDone {
 			// Messages sent in the final round (or still delayed in the
 			// ring) would be delivered to already-terminated nodes; they

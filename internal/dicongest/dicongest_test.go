@@ -511,6 +511,58 @@ func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
 	if longF > shortF {
 		t.Errorf("faulty per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortF, longF)
 	}
+
+	// Trace-on must be O(1) allocs per round too, mirroring the congest
+	// assertion: the shared congest.Tracer receives a stack-passed
+	// RoundTrace and this tracer only adds integers.
+	tracer := &countingTracer{}
+	tracedWith := func(rounds int) func() {
+		return func() {
+			if _, err := Run(d, newChatter(rounds), Options{Trace: tracer}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	shortT := testing.AllocsPerRun(5, tracedWith(10))
+	longT := testing.AllocsPerRun(5, tracedWith(1010))
+	if longT > shortT {
+		t.Errorf("traced per-round allocations detected: %v allocs for 10 rounds, %v for 1010", shortT, longT)
+	}
+}
+
+// countingTracer accumulates congest.RoundTrace fields without
+// allocating (the tracer contract both simulators share).
+type countingTracer struct {
+	rounds, sent, delivered, dropped, lastActive int
+}
+
+func (c *countingTracer) ObserveRound(t congest.RoundTrace) {
+	c.rounds++
+	c.sent += t.Sent
+	c.delivered += t.Delivered
+	c.dropped += t.Dropped
+	c.lastActive = t.Active
+}
+
+func TestTraceObservesEveryRound(t *testing.T) {
+	d := dirCycle(16)
+	tr := &countingTracer{}
+	res, err := Run(d, newChatter(8), Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.rounds != res.Rounds {
+		t.Errorf("tracer saw %d rounds, metrics say %d", tr.rounds, res.Rounds)
+	}
+	if int64(tr.sent) != res.Messages {
+		t.Errorf("traced sent %d != metered messages %d", tr.sent, res.Messages)
+	}
+	if tr.delivered != tr.sent {
+		t.Errorf("traced delivered %d != sent %d on a fault-free run", tr.delivered, tr.sent)
+	}
+	if tr.lastActive != 0 {
+		t.Errorf("last round reports %d active nodes, want 0", tr.lastActive)
+	}
 }
 
 func TestEmptyDigraph(t *testing.T) {

@@ -11,6 +11,7 @@ func TestDetrandFixture(t *testing.T)   { runFixture(t, "detrand", Detrand) }
 func TestHotallocFixture(t *testing.T)  { runFixture(t, "hotalloc", Hotalloc) }
 func TestCtxflowFixture(t *testing.T)   { runFixture(t, "ctxflow", Ctxflow) }
 func TestPanicsiteFixture(t *testing.T) { runFixture(t, "panicsite", Panicsite) }
+func TestObsnamesFixture(t *testing.T)  { runFixture(t, "obsnames", Obsnames) }
 
 // TestDirectiveHandling checks the framework's own directive findings
 // and the scoping rules of //nolint:hardlint suppressions.
@@ -71,7 +72,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 			t.Errorf("AnalyzerByName(%q) does not round-trip", a.Name)
 		}
 	}
-	if len(names) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(names))
+	if len(names) != 6 {
+		t.Errorf("suite has %d analyzers, want 6", len(names))
 	}
 }

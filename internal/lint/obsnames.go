@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// Obsnames pins the metric naming contract from internal/obs: every
+// metric registered through the registry constructors is named
+// hardness_<words>[_total|_seconds|_bytes], lower-case with underscores.
+// The registry enforces this at runtime (the Must* constructors panic),
+// but a bad name in a rarely-exercised path would only surface when that
+// path first registers — this analyzer moves the failure to lint time.
+//
+// Calls are matched by constructor name (NewCounter, MustCounter,
+// NewGauge, MustGauge, NewHistogram, MustHistogram — function or method)
+// with a compile-time-constant string first argument; a non-constant
+// name is skipped, since only the runtime check can see it.
+var Obsnames = &Analyzer{
+	Name:      "obsnames",
+	Invariant: "metric names match hardness_[a-z_]+(_total|_seconds|_bytes)?",
+	Doc: "flags obs registry constructor calls (NewCounter/MustCounter/NewGauge/MustGauge/" +
+		"NewHistogram/MustHistogram) whose constant name argument breaks the hardness_* naming contract",
+	URL: "README.md#static-analysis",
+	Run: runObsnames,
+}
+
+// obsConstructors are the registry entry points whose first argument is
+// a metric name.
+var obsConstructors = map[string]bool{
+	"NewCounter": true, "MustCounter": true,
+	"NewGauge": true, "MustGauge": true,
+	"NewHistogram": true, "MustHistogram": true,
+}
+
+var obsNameRe = regexp.MustCompile(`^hardness_[a-z_]+(_total|_seconds|_bytes)?$`)
+
+func runObsnames(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var fname string
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				fname = fn.Name
+			case *ast.SelectorExpr:
+				fname = fn.Sel.Name
+			default:
+				return true
+			}
+			if !obsConstructors[fname] {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !obsNameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q breaks the naming contract: want hardness_[a-z_]+(_total|_seconds|_bytes)?",
+					name)
+			}
+			return true
+		})
+	}
+}

@@ -44,13 +44,14 @@ func Suite() []SuiteEntry {
 		{Hotalloc, nil}, // directive-driven: cheap everywhere
 		{Ctxflow, ctxPackages},
 		{Panicsite, []string{"internal"}},
+		{Obsnames, nil}, // name-driven: anywhere metrics are registered
 	}
 }
 
-// Analyzers returns the five analyzers without gating, for -list and
+// Analyzers returns the six analyzers without gating, for -list and
 // documentation.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrange, Detrand, Hotalloc, Ctxflow, Panicsite}
+	return []*Analyzer{Detrange, Detrand, Hotalloc, Ctxflow, Panicsite, Obsnames}
 }
 
 // AnalyzerByName resolves a suite analyzer, for diagnostics rendering.

@@ -1,0 +1,62 @@
+// Package obsnames is the golden fixture for the obsnames analyzer.
+// It stubs the obs registry's constructor shapes locally — fixtures are
+// typechecked standalone and cannot import congesthard packages; the
+// analyzer matches constructor names, not the obs package identity.
+package obsnames
+
+type counter struct{}
+type gauge struct{}
+type histogram struct{}
+
+type registry struct{}
+
+func (r *registry) NewCounter(name, help string) (*counter, error) { return nil, nil }
+func (r *registry) MustCounter(name, help string) *counter         { return nil }
+func (r *registry) NewGauge(name, help string) (*gauge, error)     { return nil, nil }
+func (r *registry) MustGauge(name, help string) *gauge             { return nil }
+func (r *registry) MustHistogram(name, help string, bounds []float64) *histogram {
+	return nil
+}
+
+// wellNamed registers metrics that honor the contract: fine.
+func wellNamed(r *registry) {
+	r.MustCounter("hardness_jobs_done_total", "jobs finished")
+	r.MustGauge("hardness_jobs_active", "jobs in flight")
+	r.MustHistogram("hardness_job_run_seconds", "run time", nil)
+	r.MustCounter("hardness_arena_bytes", "arena footprint")
+}
+
+// badPrefix misses the hardness_ namespace: flagged.
+func badPrefix(r *registry) (*counter, error) {
+	return r.NewCounter("jobs_done_total", "jobs finished") // want `metric name "jobs_done_total" breaks the naming contract`
+}
+
+// badCase uses upper-case and dashes: flagged.
+func badCase(r *registry) {
+	r.MustGauge("hardness_Jobs-Active", "jobs in flight") // want `metric name "hardness_Jobs-Active" breaks the naming contract`
+}
+
+// badChars sneaks digits into the body — [a-z_] only: flagged.
+func badChars(r *registry) {
+	r.MustHistogram("hardness_p99_seconds", "tail latency", nil) // want `metric name "hardness_p99_seconds" breaks the naming contract`
+}
+
+// constName flows a named constant through the call: still checked,
+// because the argument is a compile-time constant.
+const wrongName = "HARDNESS_PAIRS"
+
+func constName(r *registry) {
+	r.MustCounter(wrongName, "pairs") // want `metric name "HARDNESS_PAIRS" breaks the naming contract`
+}
+
+// dynamicName cannot be checked statically: skipped (the registry's
+// runtime validation still rejects it).
+func dynamicName(r *registry, name string) {
+	r.MustCounter(name, "dynamic")
+}
+
+// suppressed documents a deliberate exception: exempt.
+func suppressed(r *registry) {
+	//nolint:hardlint/obsnames legacy dashboard depends on this exact series name
+	r.MustCounter("legacy_pairs_total", "grandfathered name")
+}

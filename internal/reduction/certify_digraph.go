@@ -3,6 +3,7 @@ package reduction
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"congesthard/internal/comm"
 	"congesthard/internal/congest"
@@ -90,6 +91,13 @@ func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg Digr
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
 		opts := dicongest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults, Arena: arena}
+		if cfg.Trace != nil {
+			opts.Trace = cfg.Trace(idx, x, y)
+		}
+		var started time.Time
+		if cfg.Metrics != nil {
+			started = time.Now() //nolint:hardlint/detrand wall-clock feeds observability histograms only, never certification results
+		}
 		var res *dicongest.Result
 		if idx < cfg.TranscriptChecks {
 			_, res, err = VerifyDigraphSimulation(d, side, factory, opts)
@@ -102,6 +110,9 @@ func CertifyDigraphCtx(ctx context.Context, fam lbfamily.DigraphFamily, alg Digr
 		output, err := decide(res)
 		if err != nil {
 			return fmt.Errorf("decide (%s,%s): %w", x, y, err)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.ObservePair(time.Since(started).Seconds(), int64(res.Rounds), res.CutBits) //nolint:hardlint/detrand wall-clock feeds observability histograms only, never certification results
 		}
 		want := f.Eval(x, y)
 		report.Pairs[idx] = PairReport{

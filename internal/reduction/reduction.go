@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"time"
 
 	"congesthard/internal/comm"
 	"congesthard/internal/congest"
 	"congesthard/internal/faults"
 	"congesthard/internal/graph"
 	"congesthard/internal/lbfamily"
+	"congesthard/internal/obs"
 )
 
 // Algorithm is a CONGEST algorithm paired with a family predicate: Prepare
@@ -87,6 +89,24 @@ type Config struct {
 	// locking; keep it cheap and non-blocking, since it runs under the
 	// sweep's progress mutex.
 	Progress func(completed, total int)
+	// Trace, if non-nil, is consulted before each pair's CONGEST run
+	// with the pair's canonical index and inputs; the returned tracer
+	// (the congest.Tracer interface both simulators share) observes
+	// that run's rounds, and returning nil skips tracing the pair.
+	// Purely observational: reports are bit-identical with or without
+	// it. Under the sharded sweep, tracers of different pairs run
+	// concurrently from worker goroutines — set Serial for a strictly
+	// ordered round stream. Transcript-checked pairs replay the run, so
+	// their rounds are observed twice; set TranscriptChecks to 0 for
+	// clean traces.
+	Trace func(idx int, x, y comm.Bits) congest.Tracer
+	// Metrics, if non-nil, receives per-pair measurements as pairs
+	// complete: wall-clock latency, simulated rounds and cut bits land
+	// in the bundle's histograms (see obs.SweepMetrics). Purely
+	// observational and safe under the sharded sweep (the histograms
+	// are atomic). This is the one place certification reads the wall
+	// clock, and the reading never feeds results — only histograms.
+	Metrics *obs.SweepMetrics
 	// Serial runs the historical single-goroutine walk instead of the
 	// sharded sweep: one mutable delta instance (or per-pair rebuilds),
 	// pairs visited strictly in canonical order, no arena reuse. It is
@@ -226,6 +246,13 @@ func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Con
 			return fmt.Errorf("prepare (%s,%s): %w", x, y, err)
 		}
 		opts := congest.Options{BandwidthBits: bandwidth, MaxRounds: cfg.MaxRounds, CutSide: side, Faults: cfg.Faults, Arena: arena}
+		if cfg.Trace != nil {
+			opts.Trace = cfg.Trace(idx, x, y)
+		}
+		var started time.Time
+		if cfg.Metrics != nil {
+			started = time.Now() //nolint:hardlint/detrand wall-clock feeds observability histograms only, never certification results
+		}
 		var res *congest.Result
 		if idx < cfg.TranscriptChecks {
 			_, res, err = VerifySimulation(g, side, factory, opts)
@@ -238,6 +265,9 @@ func CertifyCtx(ctx context.Context, fam lbfamily.Family, alg Algorithm, cfg Con
 		output, err := decide(res)
 		if err != nil {
 			return fmt.Errorf("decide (%s,%s): %w", x, y, err)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.ObservePair(time.Since(started).Seconds(), int64(res.Rounds), res.CutBits) //nolint:hardlint/detrand wall-clock feeds observability histograms only, never certification results
 		}
 		want := f.Eval(x, y)
 		report.Pairs[idx] = PairReport{

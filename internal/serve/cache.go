@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"congesthard/internal/obs"
 )
 
 // baseCache is a small LRU of built family bases (Runners) guarded by
@@ -18,7 +20,12 @@ type baseCache struct {
 	entries map[string]*cacheEntry
 	order   *list.List // front = most recently used
 
-	hits, misses, evictions int64
+	// hits/misses/evictions/size are obs instruments so the cache's
+	// counters are the same series /v1/metrics exports; a standalone
+	// cache (tests) gets unregistered instances from newBaseCache and
+	// the server swaps in its registry's via instrument.
+	hits, misses, evictions *obs.Counter
+	size                    *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -37,10 +44,23 @@ func newBaseCache(capacity int) *baseCache {
 		capacity = 1
 	}
 	return &baseCache{
-		cap:     capacity,
-		entries: make(map[string]*cacheEntry),
-		order:   list.New(),
+		cap:       capacity,
+		entries:   make(map[string]*cacheEntry),
+		order:     list.New(),
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
+		size:      &obs.Gauge{},
 	}
+}
+
+// instrument replaces the cache's instruments with registry-backed ones.
+// Call before first use (the previous instruments' counts are not
+// carried over).
+func (c *baseCache) instrument(hits, misses, evictions *obs.Counter, size *obs.Gauge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions, c.size = hits, misses, evictions, size
 }
 
 // get returns the cached Runner for key, building it with build on a miss.
@@ -49,7 +69,7 @@ func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.order.MoveToFront(e.elem)
-		c.hits++
+		c.hits.Inc()
 		c.mu.Unlock()
 		<-e.ready
 		return e.runner, e.err
@@ -57,7 +77,7 @@ func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.elem = c.order.PushFront(e)
 	c.entries[key] = e
-	c.misses++
+	c.misses.Inc()
 	// Evict from the cold end past capacity. An in-flight entry may be
 	// evicted; its waiters hold the entry pointer directly, so they still
 	// observe the build outcome — the cache just forgets it.
@@ -66,8 +86,9 @@ func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error
 		victim := back.Value.(*cacheEntry)
 		c.order.Remove(back)
 		delete(c.entries, victim.key)
-		c.evictions++
+		c.evictions.Inc()
 	}
+	c.size.Set(int64(len(c.entries)))
 	c.mu.Unlock()
 
 	func() {
@@ -84,6 +105,7 @@ func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error
 		if cur, ok := c.entries[key]; ok && cur == e {
 			c.order.Remove(e.elem)
 			delete(c.entries, key)
+			c.size.Set(int64(len(c.entries)))
 		}
 		c.mu.Unlock()
 	}
@@ -94,5 +116,5 @@ func (c *baseCache) get(key string, build func() (Runner, error)) (Runner, error
 func (c *baseCache) stats() (hits, misses, evictions int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, len(c.entries)
+	return c.hits.Value(), c.misses.Value(), c.evictions.Value(), len(c.entries)
 }

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"congesthard/internal/obs"
+)
+
+// serverMetrics is the server's observability surface: every counter,
+// gauge and histogram the /v1/stats JSON and /v1/metrics Prometheus
+// endpoints read. The registry is the single source of truth — the
+// hand-maintained atomic Stats fields it replaced lived on the Server
+// struct and could drift from what was exported; now both endpoints
+// render the same instruments.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	submitted *obs.Counter
+	shed      *obs.Counter
+	done      *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	active    *obs.Gauge
+	draining  *obs.Gauge
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+
+	pairs     *obs.Counter
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
+	sweep     *obs.SweepMetrics
+
+	// pairsRate feeds the sliding-window PairsPerSecWindow stat; it is
+	// not a registry metric (Prometheus consumers derive windowed rates
+	// from hardness_pairs_certified_total themselves).
+	pairsRate *obs.RateWindow
+}
+
+// pairsRateWindow is the sliding window behind Stats.PairsPerSecWindow.
+const pairsRateWindow = 10 * time.Second
+
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		submitted: r.MustCounter("hardness_jobs_submitted_total",
+			"Jobs accepted into the queue."),
+		shed: r.MustCounter("hardness_jobs_shed_total",
+			"Submissions shed with 429 + Retry-After because the queue was full."),
+		done: r.MustCounter("hardness_jobs_done_total",
+			"Jobs that finished with a complete report."),
+		failed: r.MustCounter("hardness_jobs_failed_total",
+			"Jobs that failed (panic, deadline, build or run error)."),
+		cancelled: r.MustCounter("hardness_jobs_cancelled_total",
+			"Jobs cancelled by server drain."),
+		active: r.MustGauge("hardness_jobs_active",
+			"Jobs currently queued or running."),
+		draining: r.MustGauge("hardness_draining",
+			"1 while the server is draining, else 0."),
+		cacheHits: r.MustCounter("hardness_cache_hits_total",
+			"Family-base cache hits."),
+		cacheMisses: r.MustCounter("hardness_cache_misses_total",
+			"Family-base cache misses (each triggers one build)."),
+		cacheEvictions: r.MustCounter("hardness_cache_evictions_total",
+			"Family-base cache LRU evictions."),
+		cacheEntries: r.MustGauge("hardness_cache_entries",
+			"Family bases currently cached."),
+		pairs: r.MustCounter("hardness_pairs_certified_total",
+			"Input pairs certified across all sweeps, counted as progress is reported (in-flight jobs included)."),
+		queueWait: r.MustHistogram("hardness_job_queue_seconds",
+			"Time from submission to a worker picking the job up.",
+			obs.ExpBuckets(0.001, 4, 12)),
+		runTime: r.MustHistogram("hardness_job_run_seconds",
+			"Time a worker spent running the job's sweep.",
+			obs.ExpBuckets(0.001, 4, 12)),
+		sweep:     obs.MustSweepMetrics(r),
+		pairsRate: obs.NewRateWindow(pairsRateWindow),
+	}
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format (version 0.0.4), hand-rolled in internal/obs — no client
+// library dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
+}

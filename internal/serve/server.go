@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -51,6 +52,11 @@ type Config struct {
 	// MaxJobs bounds the finished-job history kept for report fetches
 	// (default 256); the oldest finished jobs are forgotten past it.
 	MaxJobs int
+	// EnablePprof mounts net/http/pprof's profiling handlers under
+	// GET /debug/pprof/ (off by default: the profile endpoints expose
+	// internals and can be made to burn CPU, so deployments opt in via
+	// `hardness serve -pprof`).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,14 +163,23 @@ type Stats struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheSize      int   `json:"cache_size"`
 	Draining       bool  `json:"draining"`
-	// PairsCertified counts every (x, y) pair completed by finished jobs,
-	// including the partial prefixes of cancelled and failed sweeps.
+	// PairsCertified counts every (x, y) pair certified so far, counted
+	// as the sweeps' Progress hooks report them — in-flight jobs
+	// included, not just finished ones. (A sweep that panics discards
+	// the pairs after the failing one from its report; they stay
+	// counted here, since the work happened.)
 	PairsCertified int64 `json:"pairs_certified"`
-	// PairsPerSec is PairsCertified divided by the cumulative wall-clock
-	// time the finished sweeps spent running (0 until a job finishes).
-	// Concurrent jobs overlap their wall clocks, so this is per-sweep
-	// throughput, not aggregate server throughput.
+	// PairsPerSec is PairsCertified divided by cumulative sweep
+	// wall-clock time — finished sweeps' run time plus the elapsed run
+	// time of jobs still running, so the rate is live from the first
+	// pair rather than 0 until the first sweep finishes. Concurrent
+	// jobs overlap their wall clocks, so this is per-sweep throughput,
+	// not aggregate server throughput.
 	PairsPerSec float64 `json:"pairs_per_sec"`
+	// PairsPerSecWindow is the pair completion rate over the trailing
+	// 10s, aggregated across all jobs — the live load number, where
+	// PairsPerSec is the lifetime average.
+	PairsPerSecWindow float64 `json:"pairs_per_sec_window"`
 }
 
 type job struct {
@@ -180,6 +195,10 @@ type job struct {
 	// goroutine and read by poll/stream handlers.
 	completed atomic.Int64
 	total     atomic.Int64
+	// counted is the completed count already credited to the server's
+	// pairs counter and rate window; the Progress hook advances it and
+	// adds the delta, keeping the counter monotone and live mid-sweep.
+	counted atomic.Int64
 
 	mu       sync.Mutex
 	state    string
@@ -227,6 +246,10 @@ type Server struct {
 	cache *baseCache
 	mux   *http.ServeMux
 
+	// met holds every counter, gauge and histogram the server maintains;
+	// /v1/stats and /v1/metrics both read from it (see metrics.go).
+	met *serverMetrics
+
 	queue chan *job
 
 	mu    sync.Mutex
@@ -234,14 +257,7 @@ type Server struct {
 	order []string // submission order, for history trimming
 
 	seq      atomic.Uint64
-	active   atomic.Int64 // queued + running jobs
 	draining atomic.Bool
-
-	submitted, shed, nDone, nFailed, nCancelled atomic.Int64
-
-	// pairsDone / sweepNanos accumulate the completed pair count and the
-	// running wall clock of finished sweeps for the /v1/stats throughput.
-	pairsDone, sweepNanos atomic.Int64
 
 	// jobCtx parents every job's deadline context; jobCancel is the drain
 	// deadline's force-cancel switch.
@@ -263,22 +279,32 @@ func New(cfg Config, reg *Registry) *Server {
 		cfg:       cfg,
 		reg:       reg,
 		cache:     newBaseCache(cfg.CacheSize),
+		met:       newServerMetrics(),
 		queue:     make(chan *job, cfg.QueueDepth),
 		jobs:      make(map[string]*job),
 		jobCtx:    ctx,
 		jobCancel: cancel,
 		stopCh:    make(chan struct{}),
 	}
+	s.cache.instrument(s.met.cacheHits, s.met.cacheMisses, s.met.cacheEvictions, s.met.cacheEntries)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/pairings", s.handlePairings)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -297,13 +323,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // whether the drain completed without force-cancelling.
 func (s *Server) Drain(ctx context.Context) bool {
 	s.draining.Store(true)
+	s.met.draining.Set(1)
 	clean := true
 	// Jobs drain through the workers even after force-cancel (a cancelled
 	// job context makes the sweep return at its next pair), so active
 	// reaches zero in bounded time either way. The force-cancel happens
 	// inline, strictly after clean flips, so the return value reflects
 	// whether the deadline actually bit.
-	for s.active.Load() > 0 {
+	for s.met.active.Value() > 0 {
 		if ctx.Err() != nil && clean {
 			clean = false
 			s.jobCancel()
@@ -333,11 +360,13 @@ func (s *Server) worker() {
 // run executes one job with its own deadline, confining panics and
 // classifying cancellation causes.
 func (s *Server) run(j *job) {
-	defer s.active.Add(-1)
+	defer s.met.active.Add(-1)
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	queued := j.started.Sub(j.created)
 	j.mu.Unlock()
+	s.met.queueWait.Observe(queued.Seconds())
 
 	ctx, cancel := context.WithTimeout(s.jobCtx, j.timeout)
 	defer cancel()
@@ -350,20 +379,28 @@ func (s *Server) run(j *job) {
 	if report != nil {
 		j.completed.Store(int64(report.Completed))
 		j.total.Store(int64(report.Total))
-		s.pairsDone.Add(int64(report.Completed))
+		// Credit pairs the Progress hook has not seen yet (a serial
+		// sweep with a nil hook, or the final pairs of a sharded one).
+		// A panicked sweep's report can hold fewer pairs than were
+		// counted live; the counter stays monotone — the work happened.
+		if delta := int64(report.Completed) - j.counted.Load(); delta > 0 {
+			j.counted.Add(delta)
+			s.met.pairs.Add(delta)
+			s.met.pairsRate.Add(j.finished, delta)
+		}
 	}
-	s.sweepNanos.Add(j.finished.Sub(j.started).Nanoseconds())
+	s.met.runTime.Observe(j.finished.Sub(j.started).Seconds())
 	switch {
 	case err == nil:
 		j.state = StateDone
-		s.nDone.Add(1)
+		s.met.done.Inc()
 	default:
 		j.errMsg = err.Error()
 		j.state, j.errKind = classify(err, ctx, s.jobCtx)
 		if j.state == StateCancelled {
-			s.nCancelled.Add(1)
+			s.met.cancelled.Inc()
 		} else {
-			s.nFailed.Add(1)
+			s.met.failed.Inc()
 		}
 	}
 	j.mu.Unlock()
@@ -392,9 +429,18 @@ func (s *Server) execute(ctx context.Context, j *job) (report *reduction.Report,
 		TranscriptChecks: j.req.TranscriptChecks,
 		Faults:           j.plan,
 		Workers:          s.cfg.SweepWorkers,
+		Metrics:          s.met.sweep,
 		Progress: func(completed, total int) {
 			j.completed.Store(int64(completed))
 			j.total.Store(int64(total))
+			// Credit the newly-completed pairs live: Progress calls are
+			// serialized per job with a strictly-increasing completed, so
+			// the delta against counted is never negative here.
+			prev := j.counted.Swap(int64(completed))
+			if d := int64(completed) - prev; d > 0 {
+				s.met.pairs.Add(d)
+				s.met.pairsRate.Add(time.Now(), d)
+			}
 		},
 	}
 	return runner(ctx, cfg)
@@ -468,25 +514,40 @@ func (s *Server) handlePairings(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, evictions, size := s.cache.stats()
-	pairs := s.pairsDone.Load()
+	now := time.Now()
+	pairs := s.met.pairs.Value()
+	// Sweep seconds = finished sweeps' run time (the run-time histogram's
+	// sum) plus the elapsed run time of jobs still running, so the rate is
+	// live from the first Progress report instead of 0 until a sweep ends.
+	sweepSecs := s.met.runTime.Sum()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && !j.started.IsZero() {
+			sweepSecs += now.Sub(j.started).Seconds()
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
 	var perSec float64
-	if nanos := s.sweepNanos.Load(); nanos > 0 {
-		perSec = float64(pairs) / (float64(nanos) / float64(time.Second))
+	if sweepSecs > 0 {
+		perSec = float64(pairs) / sweepSecs
 	}
 	writeJSON(w, http.StatusOK, Stats{
-		Submitted:      s.submitted.Load(),
-		Shed:           s.shed.Load(),
-		Done:           s.nDone.Load(),
-		Failed:         s.nFailed.Load(),
-		Cancelled:      s.nCancelled.Load(),
-		Active:         s.active.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheSize:      size,
-		Draining:       s.draining.Load(),
-		PairsCertified: pairs,
-		PairsPerSec:    perSec,
+		Submitted:         s.met.submitted.Value(),
+		Shed:              s.met.shed.Value(),
+		Done:              s.met.done.Value(),
+		Failed:            s.met.failed.Value(),
+		Cancelled:         s.met.cancelled.Value(),
+		Active:            s.met.active.Value(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEvictions:    evictions,
+		CacheSize:         size,
+		Draining:          s.draining.Load(),
+		PairsCertified:    pairs,
+		PairsPerSec:       perSec,
+		PairsPerSecWindow: s.met.pairsRate.Rate(now),
 	})
 }
 
@@ -541,18 +602,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		done:    make(chan struct{}),
 	}
 
-	s.active.Add(1)
+	s.met.active.Add(1)
 	select {
 	case s.queue <- j:
 	default:
 		// Queue full: shed the submission instead of queueing unboundedly.
-		s.active.Add(-1)
-		s.shed.Add(1)
+		s.met.active.Add(-1)
+		s.met.shed.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs); retry later", s.cfg.QueueDepth)
 		return
 	}
-	s.submitted.Add(1)
+	s.met.submitted.Inc()
 	s.remember(j)
 	writeJSON(w, http.StatusAccepted, j.status())
 }

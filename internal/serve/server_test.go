@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -420,5 +422,152 @@ func TestServeStream(t *testing.T) {
 	}
 	if progress == 0 || done == 0 {
 		t.Fatalf("stream saw %d progress and %d done events", progress, done)
+	}
+}
+
+// TestServeStreamClientDisconnect: a client that drops its SSE stream
+// mid-job leaks nothing — the handler goroutine exits with the request
+// context, the job still runs to completion, and its terminal state is
+// counted in stats.
+func TestServeStreamClientDisconnect(t *testing.T) {
+	srv, ts, cl := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	before := runtime.NumGoroutine()
+
+	st, err := cl.Submit(ctx, serve.JobRequest{Family: "chaos", Alg: "slow", Pairs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open the stream, read until the first progress event proves the
+	// handler is live, then hang up mid-stream.
+	sctx, scancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/stream", ts.URL, st.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawProgress := false
+	for sc.Scan() {
+		if sc.Text() == "event: progress" {
+			sawProgress = true
+			break
+		}
+	}
+	if !sawProgress {
+		t.Fatal("stream closed before any progress event")
+	}
+	scancel()
+	resp.Body.Close()
+
+	// The abandoned job still completes.
+	final, err := cl.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("job after client disconnect ended %s, want done", final.State)
+	}
+	if final.Completed != 60 {
+		t.Fatalf("job completed %d of 60 pairs", final.Completed)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Done < 1 {
+		t.Fatalf("stats.Done=%d after the abandoned job finished", stats.Done)
+	}
+	if stats.PairsCertified < 60 {
+		t.Fatalf("stats.PairsCertified=%d, want >= 60", stats.PairsCertified)
+	}
+
+	// No leaked stream handler: goroutine count settles back to around
+	// where it started (keep-alive conns etc. give it a little slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d (was %d) 5s after disconnect:\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeMetricsEndpoint: /v1/metrics renders the registry in
+// Prometheus text exposition format with the server's counters, gauges
+// and histograms, and histogram series stay internally consistent.
+func TestServeMetricsEndpoint(t *testing.T) {
+	srv, ts, cl := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cl.Submit(ctx, serve.JobRequest{Family: "mds", Alg: "collect", Pairs: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+
+	for _, want := range []string{
+		"# TYPE hardness_jobs_submitted_total counter",
+		"# TYPE hardness_jobs_active gauge",
+		"# TYPE hardness_job_run_seconds histogram",
+		"hardness_pairs_certified_total 4",
+		"hardness_jobs_done_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Histogram consistency: the run-time histogram's +Inf bucket equals
+	// its _count, and at least one observation landed.
+	var infBucket, count string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `hardness_job_run_seconds_bucket{le="+Inf"}`) {
+			infBucket = line[strings.LastIndex(line, " ")+1:]
+		}
+		if strings.HasPrefix(line, "hardness_job_run_seconds_count") {
+			count = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	if infBucket == "" || count == "" {
+		t.Fatalf("run-time histogram series incomplete:\n%s", text)
+	}
+	if infBucket != count {
+		t.Errorf("+Inf bucket %s != count %s", infBucket, count)
+	}
+	if count == "0" {
+		t.Error("run-time histogram empty after a finished job")
 	}
 }
